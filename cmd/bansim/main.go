@@ -1,0 +1,223 @@
+// Command bansim runs one Body Area Network scenario on the energy
+// simulation framework and prints the per-node energy report.
+//
+// Examples:
+//
+//	bansim -app streaming -mac static -nodes 5 -cycle 30ms -fs 205 -duration 60s
+//	bansim -app rpeak -mac dynamic -nodes 3 -duration 60s -format json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/mac"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "streaming", "application: streaming | rpeak | hrv | eeg")
+		macName  = flag.String("mac", "static", "MAC variant: static | dynamic")
+		nodes    = flag.Int("nodes", 5, "number of sensor nodes")
+		cycle    = flag.Duration("cycle", 30*time.Millisecond, "static TDMA cycle length")
+		fs       = flag.Float64("fs", 205, "per-channel sampling frequency (Hz)")
+		hr       = flag.Float64("hr", 75, "synthetic ECG heart rate (bpm)")
+		duration = flag.Duration("duration", 60*time.Second, "measurement window")
+		warmup   = flag.Duration("warmup", 3*time.Second, "join/warm-up phase before measurement")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		ber      = flag.Float64("ber", 0, "per-bit error probability on every link")
+		format   = flag.String("format", "text", "output format: text | json")
+		confPath = flag.String("config", "", "JSON scenario file (overrides the other flags)")
+	)
+	flag.Parse()
+
+	if *confPath != "" {
+		data, err := os.ReadFile(*confPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg, err := core.ConfigFromJSON(data)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		res, err := core.Run(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *format == "json" {
+			printJSON(res)
+		} else {
+			printText(res)
+		}
+		return
+	}
+
+	var variant mac.Variant
+	switch *macName {
+	case "static":
+		variant = mac.Static
+	case "dynamic":
+		variant = mac.Dynamic
+	default:
+		fatalf("unknown MAC %q (want static or dynamic)", *macName)
+	}
+	var app core.AppKind
+	switch *appName {
+	case "streaming":
+		app = core.AppStreaming
+	case "rpeak":
+		app = core.AppRpeak
+	case "hrv":
+		app = core.AppHRV
+	case "eeg":
+		app = core.AppEEG
+	default:
+		fatalf("unknown app %q (want streaming, rpeak, hrv or eeg)", *appName)
+	}
+
+	cfg := core.Config{
+		Variant:      variant,
+		Nodes:        *nodes,
+		Cycle:        sim.FromDuration(*cycle),
+		App:          app,
+		SampleRateHz: *fs,
+		HeartRateBPM: *hr,
+		Duration:     sim.FromDuration(*duration),
+		Warmup:       sim.FromDuration(*warmup),
+		Seed:         *seed,
+		BER:          *ber,
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	switch *format {
+	case "json":
+		printJSON(res)
+	case "text":
+		printText(res)
+	default:
+		fatalf("unknown format %q", *format)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bansim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func printText(res core.Results) {
+	fmt.Printf("BAN: %d node(s), %s TDMA, app=%s, window=%v (joined all: %v)\n\n",
+		res.Config.Nodes, res.Config.Variant, res.Config.App,
+		res.Config.Duration, res.JoinedAll)
+	for _, n := range res.Nodes {
+		fmt.Printf("%s  (slot energy over %v)\n", n.Name, res.Config.Duration)
+		fmt.Printf("  radio %8.2f mJ   mcu %8.2f mJ   asic %8.2f mJ   total %8.2f mJ\n",
+			n.RadioMJ(), n.MCUMJ(), n.ASICMJ(), n.Energy.TotalMJ())
+		for _, comp := range n.Energy.Components {
+			fmt.Printf("  %-6s:", comp.Name)
+			for _, st := range orderedStates(comp) {
+				sr := comp.States[st]
+				if sr.Time == 0 {
+					continue
+				}
+				fmt.Printf("  %s=%.1fms/%.3fmJ", st, sr.Time.Seconds()*1e3, sr.EnergyJ*1e3)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("  losses:")
+		for _, cat := range energy.AllLossCategories() {
+			fmt.Printf("  %s=%.3fmJ", cat, n.Energy.Losses[cat]*1e3)
+		}
+		fmt.Println()
+		fmt.Printf("  mac: beacons=%d missed=%d sent=%d acked=%d ackMiss=%d retries=%d drops=%d\n",
+			n.Mac.BeaconsHeard, n.Mac.BeaconsMissed, n.Mac.DataSent,
+			n.Mac.DataAcked, n.Mac.AckMissed, n.Mac.Retries, n.Mac.QueueDrops)
+		if n.Mac.LatencyCount > 0 {
+			fmt.Printf("  latency (send->burst): avg=%.1fms max=%.1fms over %d frames\n",
+				n.Mac.AvgLatency().Milliseconds(), n.Mac.LatencyMax.Milliseconds(),
+				n.Mac.LatencyCount)
+		}
+		if n.Beats > 0 {
+			fmt.Printf("  rpeak: beats=%d packets=%d\n", n.Beats, n.PacketsSent)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("base station: beacons=%d data=%d acks=%d ssr=%d\n",
+		res.BSStats.BeaconsSent, res.BSStats.DataReceived,
+		res.BSStats.AcksSent, res.BSStats.SSRReceived)
+	fmt.Printf("channel: tx=%d collisions=%d corrupt=%d\n",
+		res.Channel.Transmissions, res.Channel.Collisions, res.Channel.CorruptCopies)
+}
+
+func orderedStates(c energy.ComponentReport) []energy.State {
+	var order []energy.State
+	switch c.Name {
+	case platform.ComponentRadio:
+		order = []energy.State{platform.StateRadioRX, platform.StateRadioTX,
+			platform.StateRadioStandby, platform.StateRadioOff}
+	case platform.ComponentMCU:
+		order = []energy.State{platform.StateMCUActive, platform.StateMCUPowerSave,
+			platform.StateMCULPM2, platform.StateMCULPM3, platform.StateMCULPM4}
+	default:
+		order = []energy.State{platform.StateASICOn, platform.StateASICOff}
+	}
+	return order
+}
+
+// jsonResult flattens the results for machine consumption.
+type jsonResult struct {
+	Nodes []jsonNode `json:"nodes"`
+	BS    struct {
+		Beacons uint64 `json:"beacons"`
+		Data    uint64 `json:"dataReceived"`
+	} `json:"baseStation"`
+	Collisions uint64 `json:"collisions"`
+	JoinedAll  bool   `json:"joinedAll"`
+}
+
+type jsonNode struct {
+	Name    string             `json:"name"`
+	RadioMJ float64            `json:"radioMJ"`
+	MCUMJ   float64            `json:"mcuMJ"`
+	ASICMJ  float64            `json:"asicMJ"`
+	Losses  map[string]float64 `json:"lossesMJ"`
+	Sent    uint64             `json:"dataSent"`
+	Acked   uint64             `json:"dataAcked"`
+	Beats   uint64             `json:"beats,omitempty"`
+}
+
+func printJSON(res core.Results) {
+	out := jsonResult{JoinedAll: res.JoinedAll, Collisions: res.Channel.Collisions}
+	out.BS.Beacons = res.BSStats.BeaconsSent
+	out.BS.Data = res.BSStats.DataReceived
+	for _, n := range res.Nodes {
+		jn := jsonNode{
+			Name:    n.Name,
+			RadioMJ: n.RadioMJ(),
+			MCUMJ:   n.MCUMJ(),
+			ASICMJ:  n.ASICMJ(),
+			Losses:  map[string]float64{},
+			Sent:    n.Mac.DataSent,
+			Acked:   n.Mac.DataAcked,
+			Beats:   n.Beats,
+		}
+		for cat, j := range n.Energy.Losses {
+			jn.Losses[string(cat)] = j * 1e3
+		}
+		out.Nodes = append(out.Nodes, jn)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatalf("encode: %v", err)
+	}
+}

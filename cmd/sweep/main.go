@@ -1,0 +1,173 @@
+// Command sweep runs a parameter sweep over the BAN design space and
+// emits CSV, for the architecture-tuning workflow the paper motivates:
+// explore cycle lengths, sampling rates, network sizes and channel
+// quality in simulation before committing hardware.
+//
+// Examples:
+//
+//	sweep -mode cycle -app streaming            # cycle length sweep
+//	sweep -mode nodes -mac dynamic -app rpeak   # network size sweep
+//	sweep -mode ber -app streaming              # channel quality sweep
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/mac"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "cycle", "sweep dimension: cycle | nodes | fs | ber | drift | clock")
+		appName  = flag.String("app", "streaming", "application: streaming | rpeak | hrv")
+		macName  = flag.String("mac", "static", "MAC variant: static | dynamic")
+		nodes    = flag.Int("nodes", 5, "node count (fixed dimensions)")
+		duration = flag.Duration("duration", 20*time.Second, "measurement window per point")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	variant := mac.Static
+	if *macName == "dynamic" {
+		variant = mac.Dynamic
+	}
+	var app core.AppKind
+	switch *appName {
+	case "streaming":
+		app = core.AppStreaming
+	case "rpeak":
+		app = core.AppRpeak
+	case "hrv":
+		app = core.AppHRV
+	default:
+		fatalf("unknown app %q", *appName)
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	header := []string{"point", "radio_mJ", "mcu_mJ", "total_mJ", "avg_power_mW",
+		"pkts_sent", "pkts_acked", "ack_missed", "retries",
+		"avg_latency_ms", "max_latency_ms",
+		"collision_mJ", "idle_mJ", "overhear_mJ", "control_mJ"}
+	if err := w.Write(header); err != nil {
+		fatalf("%v", err)
+	}
+
+	base := core.Config{
+		Variant:  variant,
+		Nodes:    *nodes,
+		Cycle:    30 * sim.Millisecond,
+		App:      app,
+		Duration: sim.FromDuration(*duration),
+		Seed:     *seed,
+	}
+	if app == core.AppStreaming {
+		base.SampleRateHz = 205
+	}
+
+	emit := func(point string, cfg core.Config) {
+		res, err := core.Run(cfg)
+		if err != nil {
+			fatalf("point %s: %v", point, err)
+		}
+		n := res.Node()
+		total := n.RadioMJ() + n.MCUMJ()
+		secs := cfg.Duration.Seconds()
+		row := []string{
+			point,
+			f1(n.RadioMJ()), f1(n.MCUMJ()), f1(total), f3(total / secs),
+			strconv.FormatUint(n.Mac.DataSent, 10),
+			strconv.FormatUint(n.Mac.DataAcked, 10),
+			strconv.FormatUint(n.Mac.AckMissed, 10),
+			strconv.FormatUint(n.Mac.Retries, 10),
+			f1(n.Mac.AvgLatency().Milliseconds()),
+			f1(n.Mac.LatencyMax.Milliseconds()),
+			f3(n.Energy.Losses[energy.LossCollision] * 1e3),
+			f3(n.Energy.Losses[energy.LossIdleListening] * 1e3),
+			f3(n.Energy.Losses[energy.LossOverhearing] * 1e3),
+			f3(n.Energy.Losses[energy.LossControl] * 1e3),
+		}
+		if err := w.Write(row); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	switch *mode {
+	case "cycle":
+		for _, ms := range []int{20, 30, 45, 60, 90, 120, 180, 240} {
+			cfg := base
+			cfg.Cycle = sim.Time(ms) * sim.Millisecond
+			if app == core.AppStreaming {
+				// Keep the payload geometry: 12 samples per cycle.
+				cfg.SampleRateHz = 6.0 / cfg.Cycle.Seconds()
+			}
+			emit(fmt.Sprintf("cycle=%dms", ms), cfg)
+		}
+	case "nodes":
+		for n := 1; n <= 5; n++ {
+			cfg := base
+			cfg.Nodes = n
+			if app == core.AppStreaming && variant == mac.Dynamic {
+				// Dynamic cycle = (n+1) x 10 ms; keep 12 samples/cycle.
+				cfg.SampleRateHz = 6.0 / (float64(n+1) * 0.010)
+			}
+			emit(fmt.Sprintf("nodes=%d", n), cfg)
+		}
+	case "fs":
+		for _, fs := range []float64{25, 55, 70, 105, 150, 205, 300} {
+			cfg := base
+			cfg.SampleRateHz = fs
+			if app == core.AppStreaming {
+				cfg.Cycle = sim.Time(6.0 / fs * float64(sim.Second))
+			}
+			emit(fmt.Sprintf("fs=%gHz", fs), cfg)
+		}
+	case "ber":
+		for _, ber := range []float64{0, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3} {
+			cfg := base
+			cfg.BER = ber
+			emit(fmt.Sprintf("ber=%g", ber), cfg)
+		}
+	case "drift":
+		for _, ppm := range []float64{0, 50, 500, 5000, 15000, 30000} {
+			cfg := base
+			cfg.Cycle = 120 * sim.Millisecond
+			if app == core.AppStreaming {
+				cfg.SampleRateHz = 50
+			}
+			cfg.ClockDriftPPM = ppm
+			emit(fmt.Sprintf("drift=%gppm", ppm), cfg)
+		}
+	case "clock":
+		for _, mhz := range []float64{8, 4, 2, 1, 0.5} {
+			cfg := base
+			prof := platform.IMEC()
+			prof.MCU = prof.MCU.AtClock(mhz * 1e6)
+			cfg.Profile = &prof
+			cfg.Cycle = 120 * sim.Millisecond
+			if app == core.AppStreaming {
+				cfg.SampleRateHz = 50
+			}
+			emit(fmt.Sprintf("clock=%gMHz", mhz), cfg)
+		}
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+}
+
+func f1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+func f3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+	os.Exit(1)
+}

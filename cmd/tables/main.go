@@ -1,0 +1,95 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation section (Tables 1-4 and Figure 4) and prints them next to
+// the published values with per-row and average errors.
+//
+//	tables            # full 60 s windows, as in the paper
+//	tables -fast      # 6 s windows scaled back to the 60 s basis
+//	tables -table table3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/paperdata"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		table  = flag.String("table", "all", "table1|table2|table3|table4|figure4|extensions|all")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		fast   = flag.Bool("fast", false, "run 6 s windows instead of the paper's 60 s")
+		format = flag.String("format", "text", "output format: text | md | csv")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed}
+	if *fast {
+		opts.Duration = 6 * sim.Second
+	}
+	render := func(t report.TableReport) string {
+		switch *format {
+		case "md":
+			return t.RenderMarkdown()
+		case "csv":
+			return t.RenderCSV()
+		case "text":
+			return t.Render()
+		default:
+			fatalf("unknown format %q", *format)
+			return ""
+		}
+	}
+
+	switch *table {
+	case "extensions":
+		ext, err := experiments.Extensions(opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(ext.Render())
+	case "all":
+		tabs, err := experiments.ReproduceAll(opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, t := range tabs {
+			fmt.Println(render(t))
+			if errs, ok := paperdata.PaperAvgErrors[t.ID]; ok && *format == "text" {
+				fmt.Printf("(the paper's own simulator: radio %.1f%%, uC %.1f%% avg error vs real)\n\n",
+					errs[0], errs[1])
+			}
+		}
+		if *format == "text" {
+			printFigure4(opts)
+		}
+	case "figure4":
+		printFigure4(opts)
+	default:
+		t, err := experiments.Reproduce(*table, opts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(render(t))
+	}
+}
+
+func printFigure4(opts experiments.Options) {
+	bars, err := experiments.Figure4(opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Println(report.RenderFigure4(bars))
+	f := paperdata.Figure4()
+	fmt.Printf("(paper, real: streaming %.1f+%.1f mJ, rpeak %.1f+%.1f mJ -> 65%% saving)\n",
+		f.StreamingRadioRealMJ, f.StreamingMCURealMJ, f.RpeakRadioRealMJ, f.RpeakMCURealMJ)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tables: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// On-body deployment study: the paper's §3 configuration — a node on
+// each limb, one on the chest, one on the head, collector at the hip —
+// simulated with site-dependent bursty links while the wearer rests,
+// walks and runs. Where on the body a node sits, and what the wearer is
+// doing, shows up directly in its energy and reliability numbers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/body"
+	"repro/internal/core"
+	"repro/internal/mac"
+	"repro/internal/sim"
+)
+
+func main() {
+	placements := body.TypicalDeployment()
+
+	fmt.Println("Six-node on-body deployment (paper §3), dynamic TDMA, Rpeak, 60 s:")
+	for _, motion := range []body.Motion{body.Resting, body.Walking, body.Running} {
+		res, err := core.Run(core.Config{
+			Variant:    mac.Dynamic,
+			Nodes:      len(placements),
+			App:        core.AppRpeak,
+			Duration:   60 * sim.Second,
+			Seed:       5,
+			Placements: placements,
+			Motion:     motion,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n--- wearer %s ---\n", motion)
+		fmt.Printf("%-12s %-11s %10s %8s %9s %8s %9s\n",
+			"node", "site", "radio(mJ)", "sent", "ackMiss", "retries", "missedB")
+		for i, n := range res.Nodes {
+			fmt.Printf("%-12s %-11s %10.1f %8d %9d %8d %9d\n",
+				n.Name, placements[i], n.RadioMJ(),
+				n.Mac.DataSent, n.Mac.AckMissed, n.Mac.Retries, n.Mac.BeaconsMissed)
+		}
+		fmt.Printf("channel: %d corrupted copies\n", res.Channel.CorruptCopies)
+	}
+
+	fmt.Println()
+	fmt.Println("Trunk sites ride short stable paths; ankle nodes fight through-body")
+	fmt.Println("fades that deepen with motion — more CRC drops, missed beacons and")
+	fmt.Println("retransmissions, and therefore more radio energy for the same data.")
+}

@@ -1,0 +1,162 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/paperdata"
+	"repro/internal/sim"
+)
+
+func compute(t *testing.T, s Scenario) Estimate {
+	t.Helper()
+	e, err := Compute(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Scenario{
+		{App: "streaming", SampleRateHz: 205, Cycle: 30 * sim.Millisecond, Nodes: 5}, // no duration
+		{App: "streaming", Duration: sim.Second, Cycle: 30 * sim.Millisecond},        // no rate
+		{App: "warp", Duration: sim.Second, Cycle: 30 * sim.Millisecond},             // bad app
+		{App: "rpeak", Duration: sim.Second},                                         // no cycle (static)
+	}
+	for i, s := range bad {
+		if _, err := Compute(s); err == nil {
+			t.Errorf("bad scenario %d accepted", i)
+		}
+	}
+}
+
+// TestMatchesPaperTables: the closed-form model lands within ~10% of the
+// paper's measurements across all four tables — despite sharing nothing
+// with the event simulator but the platform constants.
+func TestMatchesPaperTables(t *testing.T) {
+	check := func(label string, e Estimate, row paperdata.Row, tolRadio, tolMCU float64) {
+		t.Helper()
+		if errPct := math.Abs(e.RadioMJ()-row.RadioRealMJ) / row.RadioRealMJ * 100; errPct > tolRadio {
+			t.Errorf("%s radio = %.1f vs real %.1f (%.1f%%)", label, e.RadioMJ(), row.RadioRealMJ, errPct)
+		}
+		if errPct := math.Abs(e.MCUMJ()-row.MCURealMJ) / row.MCURealMJ * 100; errPct > tolMCU {
+			t.Errorf("%s mcu = %.1f vs real %.1f (%.1f%%)", label, e.MCUMJ(), row.MCURealMJ, errPct)
+		}
+	}
+	for _, row := range paperdata.Table1().Rows {
+		e := compute(t, Scenario{Variant: mac.Static, Nodes: row.Nodes, Cycle: row.Cycle,
+			App: "streaming", SampleRateHz: row.SampleRateHz, Duration: paperdata.Window})
+		check("t1/"+row.Label, e, row, 10, 12)
+	}
+	for _, row := range paperdata.Table2().Rows {
+		e := compute(t, Scenario{Variant: mac.Dynamic, Nodes: row.Nodes,
+			App: "streaming", SampleRateHz: row.SampleRateHz, Duration: paperdata.Window})
+		check("t2/"+row.Label, e, row, 10, 16)
+	}
+	for _, row := range paperdata.Table3().Rows {
+		e := compute(t, Scenario{Variant: mac.Static, Nodes: row.Nodes, Cycle: row.Cycle,
+			App: "rpeak", SampleRateHz: row.SampleRateHz, Duration: paperdata.Window})
+		check("t3/"+row.Label, e, row, 10, 10)
+	}
+	for _, row := range paperdata.Table4().Rows {
+		e := compute(t, Scenario{Variant: mac.Dynamic, Nodes: row.Nodes,
+			App: "rpeak", SampleRateHz: row.SampleRateHz, Duration: paperdata.Window})
+		// Wider band on n=2: that row is inconsistent with Table 2's n=2
+		// row in the paper itself (see core's TestTable4Reproduction).
+		tol := 10.0
+		if row.Label == "n=2" {
+			tol = 12.0
+		}
+		check("t4/"+row.Label, e, row, tol, 10)
+	}
+}
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	e := compute(t, Scenario{Variant: mac.Static, Nodes: 5, Cycle: 30 * sim.Millisecond,
+		App: "streaming", SampleRateHz: 205, Duration: paperdata.Window})
+	if math.Abs(e.RadioJ-(e.BeaconListenJ+e.DataTxJ+e.AckListenJ)) > 1e-9 {
+		t.Fatalf("radio breakdown does not sum: %+v", e)
+	}
+	if math.Abs(e.MCUJ-(e.MCUBaselineJ+e.MCUActiveJ)) > 1e-9 {
+		t.Fatalf("mcu breakdown does not sum: %+v", e)
+	}
+	if e.ASICJ <= 0 {
+		t.Fatalf("ASIC energy missing")
+	}
+}
+
+func TestScalesLinearlyWithDuration(t *testing.T) {
+	base := Scenario{Variant: mac.Static, Nodes: 5, Cycle: 30 * sim.Millisecond,
+		App: "streaming", SampleRateHz: 205, Duration: 60 * sim.Second}
+	e60 := compute(t, base)
+	base.Duration = 120 * sim.Second
+	e120 := compute(t, base)
+	if math.Abs(e120.RadioJ-2*e60.RadioJ) > 1e-9 {
+		t.Fatalf("radio energy not linear in duration")
+	}
+}
+
+func TestStreamingProductionCap(t *testing.T) {
+	// If the sampling rate cannot fill a payload per cycle, the packet
+	// rate is production-limited, not slot-limited.
+	slow := compute(t, Scenario{Variant: mac.Static, Nodes: 5, Cycle: 30 * sim.Millisecond,
+		App: "streaming", SampleRateHz: 55, Duration: 60 * sim.Second})
+	fast := compute(t, Scenario{Variant: mac.Static, Nodes: 5, Cycle: 30 * sim.Millisecond,
+		App: "streaming", SampleRateHz: 205, Duration: 60 * sim.Second})
+	if slow.DataTxJ >= fast.DataTxJ {
+		t.Fatalf("production cap not applied: %v >= %v", slow.DataTxJ, fast.DataTxJ)
+	}
+}
+
+func TestRpeakPacketRateTracksHeartRate(t *testing.T) {
+	hr75 := compute(t, Scenario{Variant: mac.Static, Nodes: 5, Cycle: 120 * sim.Millisecond,
+		App: "rpeak", HeartRateBPM: 75, Duration: 60 * sim.Second})
+	hr150 := compute(t, Scenario{Variant: mac.Static, Nodes: 5, Cycle: 120 * sim.Millisecond,
+		App: "rpeak", HeartRateBPM: 150, Duration: 60 * sim.Second})
+	ratio := hr150.DataTxJ / hr75.DataTxJ
+	if math.Abs(ratio-2) > 0.01 {
+		t.Fatalf("packet energy ratio = %.3f, want 2 for doubled heart rate", ratio)
+	}
+}
+
+func TestHRVLowestRadio(t *testing.T) {
+	rp := compute(t, Scenario{Variant: mac.Static, Nodes: 5, Cycle: 120 * sim.Millisecond,
+		App: "rpeak", Duration: 60 * sim.Second})
+	hrv := compute(t, Scenario{Variant: mac.Static, Nodes: 5, Cycle: 120 * sim.Millisecond,
+		App: "hrv", Duration: 60 * sim.Second})
+	if hrv.RadioJ >= rp.RadioJ {
+		t.Fatalf("hrv radio %.4f not below rpeak %.4f", hrv.RadioJ, rp.RadioJ)
+	}
+	// One summary per 16 beats: the packet term is tiny next to beacons.
+	if hrv.DataTxJ+hrv.AckListenJ > 0.05*hrv.RadioJ {
+		t.Fatalf("hrv packet share implausibly large")
+	}
+}
+
+func TestEEGMatchesSimulator(t *testing.T) {
+	// Cross-check the closed form against the event simulator on the
+	// EEG monitor (no published table for this extension app).
+	est := compute(t, Scenario{Variant: mac.Static, Nodes: 2, Cycle: 60 * sim.Millisecond,
+		App: "eeg", SampleRateHz: 128, Duration: 60 * sim.Second})
+	// Values measured from core.Run on the same scenario (seed 12; see
+	// core's TestEEGMonitorOverBAN): radio ≈ 230 mJ, µC ≈ 129 mJ.
+	if e := math.Abs(est.RadioMJ()-230) / 230; e > 0.10 {
+		t.Fatalf("eeg analytic radio %.1f mJ vs simulator ~230 (%.0f%%)", est.RadioMJ(), e*100)
+	}
+	if e := math.Abs(est.MCUMJ()-129) / 129; e > 0.15 {
+		t.Fatalf("eeg analytic mcu %.1f mJ vs simulator ~129 (%.0f%%)", est.MCUMJ(), e*100)
+	}
+}
+
+func TestFigure4SavingAnalytically(t *testing.T) {
+	stream := compute(t, Scenario{Variant: mac.Static, Nodes: 5, Cycle: 30 * sim.Millisecond,
+		App: "streaming", SampleRateHz: 205, Duration: paperdata.Window})
+	rp := compute(t, Scenario{Variant: mac.Static, Nodes: 5, Cycle: 120 * sim.Millisecond,
+		App: "rpeak", Duration: paperdata.Window})
+	saving := 1 - (rp.RadioMJ()+rp.MCUMJ())/(stream.RadioMJ()+stream.MCUMJ())
+	if saving < 0.55 || saving > 0.75 {
+		t.Fatalf("analytic saving = %.0f%%, paper ~65%%", saving*100)
+	}
+}

@@ -1,0 +1,50 @@
+// Package app implements the biomedical applications the paper evaluates
+// (§5): 2-channel ECG streaming, and the on-node Rpeak heart-beat
+// detector that trades a little microcontroller work for a large radio
+// saving.
+package app
+
+import (
+	"repro/internal/asic"
+	"repro/internal/codec"
+	"repro/internal/ecg"
+	"repro/internal/mac"
+	"repro/internal/platform"
+	"repro/internal/tinyos"
+	"repro/internal/trace"
+)
+
+// App is the node layer's view of an application.
+type App interface {
+	// Name identifies the application ("ecg-stream", "rpeak").
+	Name() string
+	// Start begins acquisition; called once the MAC holds a slot.
+	Start()
+	// Stop halts acquisition.
+	Stop()
+}
+
+// Env bundles the node facilities an application runs on.
+type Env struct {
+	Sched    *tinyos.Sched
+	Frontend *asic.Frontend
+	Mac      mac.Mac
+	Cost     platform.CostModel
+	Tracer   *trace.Recorder
+	NodeName string
+}
+
+// validate panics on an incomplete environment.
+func (e Env) validate() {
+	if e.Sched == nil || e.Frontend == nil || e.Mac == nil {
+		panic("app: incomplete environment")
+	}
+}
+
+// signalSource adapts an ECG generator to the front-end's Source
+// interface at a fixed sampling rate.
+func signalSource(g *ecg.Generator, fs float64) asic.Source {
+	return asic.SourceFunc(func(ch int, i int64) codec.Sample {
+		return g.SampleAt(ch, i, fs)
+	})
+}

@@ -1,0 +1,121 @@
+package app
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/ecg"
+)
+
+// StreamingConfig parameterises the ECG streaming application of §5.1.
+type StreamingConfig struct {
+	// SampleRateHz is the per-channel sampling frequency (the Table 1
+	// sweep parameter).
+	SampleRateHz float64
+	// Channels is the number of ECG channels streamed (the paper: 2).
+	Channels int
+	// SamplesPerPacket is the number of 12-bit samples packed into one
+	// payload; 0 selects 12 (= the paper's 18-byte payload).
+	SamplesPerPacket int
+	// Signal drives the electrodes.
+	Signal *ecg.Generator
+}
+
+// Streaming is the ECG streaming application: every acquisition buffers
+// one sample per channel; once a payload's worth has accumulated it is
+// packed (12-bit samples, 18 bytes) and handed to the MAC for the next
+// slot.
+type Streaming struct {
+	env Env
+	cfg StreamingConfig
+
+	buf     []codec.Sample
+	sent    uint64
+	dropped uint64
+	running bool
+}
+
+// NewStreaming builds the application and configures the front-end.
+func NewStreaming(env Env, cfg StreamingConfig) *Streaming {
+	env.validate()
+	if cfg.SampleRateHz <= 0 {
+		panic("app: streaming sample rate must be positive")
+	}
+	if cfg.Channels <= 0 {
+		cfg.Channels = 2
+	}
+	if cfg.SamplesPerPacket <= 0 {
+		cfg.SamplesPerPacket = 12
+	}
+	if cfg.SamplesPerPacket%cfg.Channels != 0 {
+		panic(fmt.Sprintf("app: %d samples/packet not divisible by %d channels",
+			cfg.SamplesPerPacket, cfg.Channels))
+	}
+	if cfg.Signal == nil {
+		panic("app: streaming needs a signal source")
+	}
+	s := &Streaming{env: env, cfg: cfg}
+
+	channels := make([]int, cfg.Channels)
+	for i := range channels {
+		channels[i] = i
+	}
+	env.Frontend.Configure(signalSource(cfg.Signal, cfg.SampleRateHz), channels, s.onAcquisition)
+	return s
+}
+
+// Name implements App.
+func (s *Streaming) Name() string { return "ecg-stream" }
+
+// Start implements App.
+func (s *Streaming) Start() {
+	if s.running {
+		return
+	}
+	s.running = true
+	s.env.Frontend.Start(s.cfg.SampleRateHz)
+}
+
+// Stop implements App.
+func (s *Streaming) Stop() {
+	if !s.running {
+		return
+	}
+	s.running = false
+	s.env.Frontend.Stop()
+}
+
+// PacketsSent reports how many payloads were handed to the MAC.
+func (s *Streaming) PacketsSent() uint64 { return s.sent }
+
+// PacketsDropped reports payloads the MAC queue refused.
+func (s *Streaming) PacketsDropped() uint64 { return s.dropped }
+
+// ResetCounters zeroes the application statistics (post-warmup).
+func (s *Streaming) ResetCounters() {
+	s.sent = 0
+	s.dropped = 0
+}
+
+// onAcquisition runs in hardware-event context for each sample set.
+func (s *Streaming) onAcquisition(i int64, samples []codec.Sample) {
+	// The per-pair cost covers the acquisition ISR and buffering.
+	s.env.Sched.Interrupt("ecg-sample", s.env.Cost.SamplePairStreaming, func() {
+		s.buf = append(s.buf, samples...)
+		if len(s.buf) < s.cfg.SamplesPerPacket {
+			return
+		}
+		batch := make([]codec.Sample, s.cfg.SamplesPerPacket)
+		copy(batch, s.buf[:s.cfg.SamplesPerPacket])
+		s.buf = s.buf[s.cfg.SamplesPerPacket:]
+		// Packet assembly is a deferred task (header + packing).
+		s.env.Sched.PostFn("ecg-assemble", s.env.Cost.PacketAssembly, func() {
+			payload := codec.Pack(batch)
+			if s.env.Mac.Send(payload) {
+				s.sent++
+			} else {
+				s.dropped++
+			}
+		})
+	})
+}

@@ -1,0 +1,31 @@
+package battery_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/battery"
+	"repro/internal/sim"
+)
+
+// ExampleBattery_Lifetime projects how long a coin cell sustains the
+// paper's two Figure 4 operating points (radio+µC energy over 60 s).
+func ExampleBattery_Lifetime() {
+	cell := battery.CR2032()
+	for _, c := range []struct {
+		name    string
+		energyJ float64
+	}{
+		{"streaming", 0.7108}, // 710.8 mJ / 60 s
+		{"rpeak", 0.2462},     // 246.2 mJ / 60 s
+	} {
+		life, err := cell.Lifetime(c.energyJ, 60*sim.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %.1f days\n", c.name, battery.Days(life))
+	}
+	// Output:
+	// streaming: 2.0 days
+	// rpeak: 5.7 days
+}

@@ -1,0 +1,155 @@
+// Package body models the on-body radio environment of a BAN deployment:
+// which electrode sites the nodes sit at, and what the 2.4 GHz link
+// between two sites looks like as the wearer moves.
+//
+// The paper's typical configuration (§3) is "a biopotential node on each
+// limb to monitor muscle activity, one on the chest to monitor cardiac
+// activity, and one on the head for brain activity", reporting to a
+// collecting device worn at the hip. On-body links are not symmetric
+// white-noise channels: torso-to-torso paths are short and stable, while
+// trunk-to-limb and through-body paths fade in bursts as posture and
+// gait move tissue into the line of sight. The package maps site pairs
+// and an activity level onto the channel package's Gilbert-Elliott burst
+// model, giving scenarios the "real-life working conditions" the paper's
+// abstract calls for without per-subject measurement data.
+package body
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+)
+
+// Site is an electrode/node placement.
+type Site int
+
+// The placements of the paper's typical deployment plus the hip-worn
+// collector.
+const (
+	// Hip is the collecting device's position (PDA/base station).
+	Hip Site = iota
+	// Chest carries the ECG node.
+	Chest
+	// Head carries the EEG node.
+	Head
+	// LeftWrist and RightWrist carry EMG nodes.
+	LeftWrist
+	RightWrist
+	// LeftAnkle and RightAnkle carry EMG nodes.
+	LeftAnkle
+	RightAnkle
+)
+
+// siteNames maps sites to labels.
+var siteNames = map[Site]string{
+	Hip: "hip", Chest: "chest", Head: "head",
+	LeftWrist: "left-wrist", RightWrist: "right-wrist",
+	LeftAnkle: "left-ankle", RightAnkle: "right-ankle",
+}
+
+// String names the site.
+func (s Site) String() string {
+	if n, ok := siteNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("site(%d)", int(s))
+}
+
+// Sites lists all placements.
+func Sites() []Site {
+	return []Site{Hip, Chest, Head, LeftWrist, RightWrist, LeftAnkle, RightAnkle}
+}
+
+// TypicalDeployment returns the paper's §3 node placement: chest, head
+// and all four limbs (the base station rides at the hip).
+func TypicalDeployment() []Site {
+	return []Site{Chest, Head, LeftWrist, RightWrist, LeftAnkle, RightAnkle}
+}
+
+// Motion is the wearer's activity level; movement modulates shadowing.
+type Motion int
+
+const (
+	// Resting: lying or sitting still (clinical monitoring).
+	Resting Motion = iota
+	// Walking: periodic limb shadowing.
+	Walking
+	// Running: fast, deep fades.
+	Running
+)
+
+// String names the motion level.
+func (m Motion) String() string {
+	switch m {
+	case Resting:
+		return "resting"
+	case Walking:
+		return "walking"
+	case Running:
+		return "running"
+	default:
+		return fmt.Sprintf("motion(%d)", int(m))
+	}
+}
+
+// motionFactor scales the fade-entry probability.
+func (m Motion) motionFactor() float64 {
+	switch m {
+	case Walking:
+		return 4
+	case Running:
+		return 10
+	default:
+		return 1
+	}
+}
+
+// pathClass coarsely ranks the site pair's propagation difficulty:
+// 0 = short torso path, 1 = trunk-to-extremity, 2 = through-body /
+// extremity-to-extremity.
+func pathClass(a, b Site) int {
+	if a == b {
+		return 0
+	}
+	rank := func(s Site) int {
+		switch s {
+		case Hip, Chest:
+			return 0 // trunk
+		case Head, LeftWrist, RightWrist:
+			return 1 // upper extremity
+		default:
+			return 2 // lower extremity
+		}
+	}
+	ra, rb := rank(a), rank(b)
+	if ra == 0 && rb == 0 {
+		return 0
+	}
+	if ra == 0 || rb == 0 {
+		// Trunk to extremity; ankles are a class harder from the hip's
+		// opposite side, but keep the coarse model monotone.
+		if ra == 2 || rb == 2 {
+			return 2
+		}
+		return 1
+	}
+	return 2
+}
+
+// LinkModel returns the burst-error process for the path between two
+// sites under the given motion. The model is symmetric in its arguments.
+func LinkModel(a, b Site, m Motion) channel.BurstModel {
+	base := [3]channel.BurstModel{
+		// Short torso path: rare shallow fades.
+		{PGoodToBad: 0.0005, PBadToGood: 0.3, BERGood: 1e-7, BERBad: 1e-4},
+		// Trunk to extremity: occasional fades.
+		{PGoodToBad: 0.002, PBadToGood: 0.2, BERGood: 1e-6, BERBad: 4e-4},
+		// Through-body / extremity: frequent deep fades.
+		{PGoodToBad: 0.006, PBadToGood: 0.15, BERGood: 3e-6, BERBad: 1.2e-3},
+	}[pathClass(a, b)]
+	base.PGoodToBad *= m.motionFactor()
+	if base.PGoodToBad > 0.5 {
+		base.PGoodToBad = 0.5
+	}
+	return base
+}

@@ -1,0 +1,73 @@
+package body
+
+import "testing"
+
+func TestSiteAndMotionNames(t *testing.T) {
+	if Chest.String() != "chest" || Hip.String() != "hip" || LeftAnkle.String() != "left-ankle" {
+		t.Fatalf("site names wrong")
+	}
+	if Walking.String() != "walking" || Resting.String() != "resting" || Running.String() != "running" {
+		t.Fatalf("motion names wrong")
+	}
+	if Site(99).String() == "" || Motion(99).String() == "" {
+		t.Fatalf("unknown values must still render")
+	}
+}
+
+func TestTypicalDeploymentMatchesPaper(t *testing.T) {
+	// §3: one node per limb, one chest, one head = 6 nodes.
+	dep := TypicalDeployment()
+	if len(dep) != 6 {
+		t.Fatalf("deployment = %d nodes, want 6", len(dep))
+	}
+	seen := map[Site]bool{}
+	for _, s := range dep {
+		if s == Hip {
+			t.Fatalf("the hip is the collector, not a sensor site")
+		}
+		if seen[s] {
+			t.Fatalf("duplicate site %v", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestLinkModelSymmetric(t *testing.T) {
+	for _, a := range Sites() {
+		for _, b := range Sites() {
+			ab := LinkModel(a, b, Walking)
+			ba := LinkModel(b, a, Walking)
+			if ab != ba {
+				t.Fatalf("asymmetric link %v<->%v", a, b)
+			}
+		}
+	}
+}
+
+func TestPathDifficultyOrdering(t *testing.T) {
+	// Mean BER: torso link < trunk-to-wrist < hip-to-ankle.
+	torso := LinkModel(Hip, Chest, Resting).MeanBER()
+	wrist := LinkModel(Hip, LeftWrist, Resting).MeanBER()
+	ankle := LinkModel(Hip, LeftAnkle, Resting).MeanBER()
+	if !(torso < wrist && wrist < ankle) {
+		t.Fatalf("path ordering broken: torso=%.2e wrist=%.2e ankle=%.2e", torso, wrist, ankle)
+	}
+}
+
+func TestMotionWorsensLinks(t *testing.T) {
+	for _, s := range TypicalDeployment() {
+		rest := LinkModel(Hip, s, Resting).MeanBER()
+		walk := LinkModel(Hip, s, Walking).MeanBER()
+		run := LinkModel(Hip, s, Running).MeanBER()
+		if !(rest < walk && walk < run) {
+			t.Fatalf("%v: motion not monotone: %.2e %.2e %.2e", s, rest, walk, run)
+		}
+	}
+}
+
+func TestFadeEntryCapped(t *testing.T) {
+	m := LinkModel(LeftAnkle, RightAnkle, Running)
+	if m.PGoodToBad > 0.5 {
+		t.Fatalf("fade entry probability %v exceeds cap", m.PGoodToBad)
+	}
+}

@@ -1,0 +1,293 @@
+// Package channel models the shared 2.4 GHz broadcast medium of the BAN
+// at the physical level the paper's framework cares about: concurrent
+// transmissions collide and corrupt each other (TOSSIM's logical-or
+// shortcut is replaced by real corruption so the receiver's CRC fails,
+// §4.2), every listening radio in range receives every frame (enabling
+// overhearing accounting), and links can carry a configurable bit error
+// rate.
+//
+// Body Area Networks are a single interference domain — a few metres of
+// body surface — so the default topology is fully connected, with
+// per-link overrides for reachability and error-rate experiments.
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Corruption says why a delivered frame is broken, so receivers can
+// attribute the wasted reception energy to the right loss category.
+type Corruption int
+
+const (
+	// Clean marks an intact frame.
+	Clean Corruption = iota
+	// Collided marks a frame corrupted by a concurrent transmission.
+	Collided
+	// BitError marks a frame corrupted by channel noise.
+	BitError
+)
+
+// String names the corruption cause.
+func (c Corruption) String() string {
+	switch c {
+	case Clean:
+		return "clean"
+	case Collided:
+		return "collided"
+	case BitError:
+		return "bit-error"
+	default:
+		return fmt.Sprintf("corruption(%d)", int(c))
+	}
+}
+
+// Transceiver is the channel's view of a radio.
+type Transceiver interface {
+	// ChannelID uniquely names the radio on the medium.
+	ChannelID() string
+	// ListeningSince reports the instant the radio last entered a
+	// receive-capable state, and false when it cannot currently capture
+	// a frame. A radio must have been listening since before the frame's
+	// first preamble bit to capture it.
+	ListeningSince() (sim.Time, bool)
+	// Deliver hands the radio a frame image at end-of-frame. image is
+	// the on-air serialisation (address+payload+CRC); cause reports
+	// in-flight corruption. The image of a corrupted frame has bits
+	// flipped, so the receiver's own CRC check fails naturally.
+	Deliver(image []byte, cause Corruption)
+}
+
+// Link describes one directed path between two radios.
+type Link struct {
+	// Connected reports whether to can hear from at all.
+	Connected bool
+	// BER is the per-bit error probability applied to frames on this
+	// path.
+	BER float64
+	// Burst, when non-nil, replaces the uniform BER with a two-state
+	// Gilbert-Elliott error process.
+	Burst *BurstModel
+}
+
+// BurstModel is a Gilbert-Elliott channel: the link alternates between a
+// good and a bad state with per-frame transition probabilities, and each
+// state has its own bit error rate. On-body links are bursty — posture
+// changes and gait shadow the path for runs of frames rather than
+// flipping independent bits — and burstiness interacts with the MAC's
+// retry logic very differently from a uniform BER of the same average.
+type BurstModel struct {
+	// PGoodToBad and PBadToGood are the per-frame transition
+	// probabilities.
+	PGoodToBad float64
+	PBadToGood float64
+	// BERGood and BERBad are the per-bit error rates in each state.
+	BERGood float64
+	BERBad  float64
+}
+
+// MeanBER reports the long-run average bit error rate of the process.
+func (b BurstModel) MeanBER() float64 {
+	if b.PGoodToBad+b.PBadToGood == 0 {
+		return b.BERGood
+	}
+	pBad := b.PGoodToBad / (b.PGoodToBad + b.PBadToGood)
+	return (1-pBad)*b.BERGood + pBad*b.BERBad
+}
+
+// Stats counts medium-level events.
+type Stats struct {
+	Transmissions uint64 // frames put on the air
+	Collisions    uint64 // frames corrupted by overlap
+	Deliveries    uint64 // frame copies handed to listening radios
+	CorruptCopies uint64 // delivered copies that were corrupted
+	MissedStart   uint64 // copies lost because the radio tuned in mid-frame
+}
+
+type transmission struct {
+	from  Transceiver
+	image []byte
+	start sim.Time
+	end   sim.Time
+	cause Corruption // Clean until an overlap corrupts it
+}
+
+// Channel is the shared medium. All methods must run on the simulation
+// goroutine.
+type Channel struct {
+	k     *sim.Kernel
+	nodes []Transceiver
+	byID  map[string]Transceiver
+	links map[[2]string]Link
+	// burstBad tracks the Gilbert-Elliott state of each bursty link.
+	burstBad map[[2]string]bool
+	active   []*transmission
+	stats    Stats
+}
+
+// New creates an empty medium on the kernel.
+func New(k *sim.Kernel) *Channel {
+	return &Channel{
+		k:        k,
+		byID:     make(map[string]Transceiver),
+		links:    make(map[[2]string]Link),
+		burstBad: make(map[[2]string]bool),
+	}
+}
+
+// Attach adds a radio to the medium. IDs must be unique.
+func (c *Channel) Attach(t Transceiver) {
+	id := t.ChannelID()
+	if _, dup := c.byID[id]; dup {
+		panic(fmt.Sprintf("channel: duplicate transceiver %q", id))
+	}
+	c.byID[id] = t
+	c.nodes = append(c.nodes, t)
+}
+
+// SetLink overrides the path from -> to. Paths default to
+// {Connected: true, BER: 0} (a fully connected, error-free BAN).
+func (c *Channel) SetLink(from, to string, l Link) {
+	c.links[[2]string{from, to}] = l
+}
+
+// link reports the effective path parameters.
+func (c *Channel) link(from, to string) Link {
+	if l, ok := c.links[[2]string{from, to}]; ok {
+		return l
+	}
+	return Link{Connected: true}
+}
+
+// Stats returns a copy of the medium counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// BeginTx puts a frame on the air from the given radio for the given
+// airtime. Any temporal overlap with another in-flight frame corrupts
+// both (single interference domain). Delivery to each listening radio
+// happens at end-of-frame.
+func (c *Channel) BeginTx(from Transceiver, image []byte, airtime sim.Time) {
+	if airtime <= 0 {
+		panic("channel: non-positive airtime")
+	}
+	now := c.k.Now()
+	tx := &transmission{
+		from:  from,
+		image: append([]byte(nil), image...),
+		start: now,
+		end:   now + airtime,
+	}
+	// Collision detection against every frame still on the air.
+	for _, other := range c.active {
+		if other.end > now { // overlap in time
+			if other.cause != Collided {
+				other.cause = Collided
+				c.stats.Collisions++
+			}
+			if tx.cause != Collided {
+				tx.cause = Collided
+				c.stats.Collisions++
+			}
+		}
+	}
+	c.active = append(c.active, tx)
+	c.stats.Transmissions++
+
+	c.k.ScheduleAt(tx.end, func(*sim.Kernel) { c.finishTx(tx) })
+}
+
+func (c *Channel) finishTx(tx *transmission) {
+	// Drop tx from the active list.
+	for i, a := range c.active {
+		if a == tx {
+			c.active = append(c.active[:i], c.active[i+1:]...)
+			break
+		}
+	}
+	fromID := tx.from.ChannelID()
+	for _, rx := range c.nodes {
+		if rx == tx.from {
+			continue
+		}
+		l := c.link(fromID, rx.ChannelID())
+		if !l.Connected {
+			continue
+		}
+		since, listening := rx.ListeningSince()
+		if !listening {
+			continue
+		}
+		if since > tx.start {
+			// Tuned in after the preamble: the frame is unreceivable,
+			// but the radio burned RX current regardless (that time is
+			// already metered; it will surface as idle listening).
+			c.stats.MissedStart++
+			continue
+		}
+		cause := tx.cause
+		image := tx.image
+		ber := l.BER
+		if l.Burst != nil {
+			key := [2]string{fromID, rx.ChannelID()}
+			bad := c.burstBad[key]
+			// Evolve the Gilbert-Elliott state once per frame.
+			if bad {
+				if c.k.Rand().Float64() < l.Burst.PBadToGood {
+					bad = false
+				}
+			} else if c.k.Rand().Float64() < l.Burst.PGoodToBad {
+				bad = true
+			}
+			c.burstBad[key] = bad
+			if bad {
+				ber = l.Burst.BERBad
+			} else {
+				ber = l.Burst.BERGood
+			}
+		}
+		if cause == Clean && ber > 0 {
+			bits := len(image) * 8
+			pClean := math.Pow(1-ber, float64(bits))
+			if c.k.Rand().Float64() > pClean {
+				cause = BitError
+			}
+		}
+		if cause != Clean {
+			image = c.corruptCopy(image)
+			c.stats.CorruptCopies++
+		}
+		c.stats.Deliveries++
+		rx.Deliver(image, cause)
+	}
+}
+
+// corruptCopy flips one to three bits of a copy of image so that the
+// receiver's CRC check fails the way real corrupted frames do.
+func (c *Channel) corruptCopy(image []byte) []byte {
+	out := append([]byte(nil), image...)
+	flips := 1 + c.k.Rand().Intn(3)
+	seen := make(map[int]bool, flips)
+	for i := 0; i < flips; i++ {
+		bit := c.k.Rand().Intn(len(out) * 8)
+		for seen[bit] { // distinct bits: re-flipping would undo the damage
+			bit = c.k.Rand().Intn(len(out) * 8)
+		}
+		seen[bit] = true
+		out[bit/8] ^= 1 << uint(bit%8)
+	}
+	return out
+}
+
+// Busy reports whether any frame is currently on the air.
+func (c *Channel) Busy() bool {
+	now := c.k.Now()
+	for _, a := range c.active {
+		if a.end > now {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,29 @@
+package codec
+
+import "testing"
+
+// BenchmarkPack measures packing one 18-byte payload's worth of samples.
+func BenchmarkPack(b *testing.B) {
+	b.ReportAllocs()
+	in := make([]Sample, 12)
+	for i := range in {
+		in[i] = Sample(i*331) & MaxSample
+	}
+	b.SetBytes(18)
+	for i := 0; i < b.N; i++ {
+		Pack(in)
+	}
+}
+
+// BenchmarkUnpack measures the inverse.
+func BenchmarkUnpack(b *testing.B) {
+	b.ReportAllocs()
+	in := make([]Sample, 12)
+	data := Pack(in)
+	b.SetBytes(18)
+	for i := 0; i < b.N; i++ {
+		if _, err := Unpack(data, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

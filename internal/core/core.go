@@ -1,0 +1,382 @@
+// Package core is the simulation framework's public façade: it assembles
+// a complete Body Area Network — base station plus sensor nodes running a
+// chosen application over a chosen TDMA variant — runs it for a warm-up
+// (join transient) and a measurement window, and reports per-node energy
+// split by component and power state, the paper's four loss categories,
+// and the protocol statistics.
+//
+// This is the counterpart of the paper's TOSSIM-based framework (§4): an
+// event-driven simulation of the whole OS/MAC/radio stack from which
+// E = I·Vdd·t energy figures are extracted per component.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/body"
+	"repro/internal/channel"
+	"repro/internal/ecg"
+	"repro/internal/energy"
+	"repro/internal/mac"
+	"repro/internal/node"
+	"repro/internal/platform"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// AppKind selects the node application.
+type AppKind string
+
+const (
+	// AppStreaming is the 2-channel ECG streaming application (§5.1).
+	AppStreaming AppKind = "streaming"
+	// AppRpeak is the on-node beat detection application (§5.2).
+	AppRpeak AppKind = "rpeak"
+	// AppHRV is the on-node heart-rate-variability summariser, the
+	// framework's extension one step further down the preprocessing
+	// path: one statistics packet per window of beats.
+	AppHRV AppKind = "hrv"
+	// AppEEG is the 24-channel EEG activity monitor: per-channel
+	// amplitude summaries chunked into a burst of frames per window,
+	// exercising the ASIC's full channel count.
+	AppEEG AppKind = "eeg"
+)
+
+// Config describes one BAN scenario.
+type Config struct {
+	// Variant selects static or dynamic TDMA.
+	Variant mac.Variant
+	// Nodes is the number of sensor nodes (the paper's case studies use
+	// 1..5).
+	Nodes int
+	// Cycle is the TDMA cycle length for the static variant; ignored for
+	// dynamic TDMA, whose cycle is (Nodes+1) x 10 ms once all joins
+	// complete.
+	Cycle sim.Time
+	// App selects the application.
+	App AppKind
+	// SampleRateHz is the per-channel sampling rate. For streaming it is
+	// the Table 1/2 sweep parameter; for Rpeak it defaults to the
+	// algorithm's fixed 200 Hz.
+	SampleRateHz float64
+	// HeartRateBPM drives the synthetic ECG (default 75, the paper's
+	// input).
+	HeartRateBPM float64
+	// Duration is the measurement window (the paper reports 60 s).
+	Duration sim.Time
+	// Warmup runs before measurement so joins complete; energy and
+	// statistics reset at its end. Default 3 s.
+	Warmup sim.Time
+	// Seed drives all randomness. Equal (Config, Seed) pairs produce
+	// byte-identical results.
+	Seed int64
+	// BER applies a uniform bit error rate to every link (default 0).
+	BER float64
+	// Burst, when non-nil, applies a Gilbert-Elliott bursty error
+	// process to every link instead of the uniform BER (on-body links
+	// fade in runs as the wearer moves). Mutually exclusive with BER.
+	Burst *channel.BurstModel
+	// Placements assigns each node an on-body site; when set (length
+	// must equal Nodes), every link gets the body model's site- and
+	// motion-dependent burst process instead of BER/Burst. The base
+	// station rides at the hip.
+	Placements []body.Site
+	// Motion is the wearer's activity level for the body model.
+	Motion body.Motion
+	// TraceLimit caps recorded trace events (0 = a generous default).
+	TraceLimit int
+	// StartStagger separates consecutive node power-ons (default 5 ms).
+	// Large values let early nodes reach steady state while later ones
+	// are still searching — the regime where overhearing and idle
+	// listening dominate.
+	StartStagger sim.Time
+	// ClockDriftPPM gives each node an oscillator error of exactly this
+	// magnitude with a per-node random sign (deterministic per seed) —
+	// the worst case of a part tolerance band. The beacon guard margins
+	// must absorb drift x cycle; crystals sit at tens of ppm, the
+	// MSP430 DCO at 1-3%.
+	ClockDriftPPM float64
+	// Profile overrides the node hardware profile; nil selects
+	// platform.IMEC().
+	Profile *platform.Profile
+}
+
+// Validate checks the configuration, applying documented defaults.
+func (c *Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("core: Nodes must be positive, got %d", c.Nodes)
+	}
+	if c.Variant == mac.Static && c.Cycle <= 0 {
+		return fmt.Errorf("core: static TDMA needs a positive Cycle")
+	}
+	switch c.App {
+	case AppStreaming:
+		if c.SampleRateHz <= 0 {
+			return fmt.Errorf("core: streaming needs a positive SampleRateHz")
+		}
+	case AppRpeak, AppHRV:
+		if c.SampleRateHz == 0 {
+			c.SampleRateHz = 200
+		}
+	case AppEEG:
+		if c.SampleRateHz == 0 {
+			c.SampleRateHz = 128
+		}
+	default:
+		return fmt.Errorf("core: unknown app %q", c.App)
+	}
+	if c.HeartRateBPM == 0 {
+		c.HeartRateBPM = 75
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("core: Duration must be positive")
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 3 * sim.Second
+	}
+	if c.BER < 0 || c.BER >= 1 {
+		return fmt.Errorf("core: BER %v out of [0,1)", c.BER)
+	}
+	if c.Burst != nil && c.BER > 0 {
+		return fmt.Errorf("core: BER and Burst are mutually exclusive")
+	}
+	if len(c.Placements) > 0 {
+		if len(c.Placements) != c.Nodes {
+			return fmt.Errorf("core: %d placements for %d nodes", len(c.Placements), c.Nodes)
+		}
+		if c.BER > 0 || c.Burst != nil {
+			return fmt.Errorf("core: Placements and BER/Burst are mutually exclusive")
+		}
+	}
+	if c.TraceLimit == 0 {
+		c.TraceLimit = 200000
+	}
+	if c.StartStagger == 0 {
+		c.StartStagger = 5 * sim.Millisecond
+	}
+	return nil
+}
+
+// NodeResult is the measurement-window outcome for one sensor node.
+type NodeResult struct {
+	Name   string
+	ID     uint8
+	Energy energy.Report
+	Mac    mac.Stats
+	Radio  radio.Stats
+	// PacketsSent/Dropped are application-level counters.
+	PacketsSent    uint64
+	PacketsDropped uint64
+	// Beats is the Rpeak detection count (0 for streaming).
+	Beats uint64
+}
+
+// RadioMJ reports the node's radio energy in millijoules — the paper's
+// "E Radio" column.
+func (n NodeResult) RadioMJ() float64 {
+	c, _ := n.Energy.Component(platform.ComponentRadio)
+	return c.EnergyMJ()
+}
+
+// MCUMJ reports the node's microcontroller energy in millijoules — the
+// paper's "E µC" column.
+func (n NodeResult) MCUMJ() float64 {
+	c, _ := n.Energy.Component(platform.ComponentMCU)
+	return c.EnergyMJ()
+}
+
+// ASICMJ reports the front-end energy (excluded from the paper's
+// validation tables but part of the node budget).
+func (n NodeResult) ASICMJ() float64 {
+	c, _ := n.Energy.Component(platform.ComponentASIC)
+	return c.EnergyMJ()
+}
+
+// TotalMJ reports radio + MCU, the quantity Figure 4 compares.
+func (n NodeResult) TotalMJ() float64 { return n.RadioMJ() + n.MCUMJ() }
+
+// Results is the outcome of one scenario run.
+type Results struct {
+	Config   Config
+	Nodes    []NodeResult
+	BSEnergy energy.Report
+	BSStats  mac.BSStats
+	Channel  channel.Stats
+	Trace    *trace.Recorder
+	// JoinedAll reports whether every node held a slot at measurement
+	// start.
+	JoinedAll bool
+}
+
+// Node returns the result for the paper's reference node (ID 1).
+func (r Results) Node() NodeResult { return r.Nodes[0] }
+
+// Run builds and executes the scenario.
+func Run(cfg Config) (Results, error) {
+	if err := cfg.Validate(); err != nil {
+		return Results{}, err
+	}
+	prof := platform.IMEC()
+	if cfg.Profile != nil {
+		prof = *cfg.Profile
+	}
+
+	k := sim.NewKernel(cfg.Seed)
+	ch := channel.New(k)
+	tracer := trace.New(cfg.TraceLimit)
+
+	base := node.NewBase(k, ch, tracer, cfg.Variant, cfg.Cycle, 0)
+
+	signal := ecg.NewGenerator(ecg.Params{
+		HeartRateBPM: cfg.HeartRateBPM,
+		JitterFrac:   0.02,
+		NoiseAmp:     0.02,
+		BaselineAmp:  0.05,
+		Seed:         cfg.Seed,
+	})
+	eeg := ecg.NewEEGGenerator(ecg.EEGParams{Seed: cfg.Seed})
+
+	sensors := make([]*node.Sensor, cfg.Nodes)
+	apps := make([]app.App, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		var opts []node.Option
+		if cfg.ClockDriftPPM > 0 {
+			drift := cfg.ClockDriftPPM
+			if k.Rand().Intn(2) == 0 {
+				drift = -drift
+			}
+			opts = append(opts, node.WithClockDrift(drift))
+		}
+		s := node.NewSensor(k, ch, tracer, uint8(i+1), prof, cfg.Variant, opts...)
+		switch cfg.App {
+		case AppStreaming:
+			s.AttachApp(func(env app.Env) app.App {
+				return app.NewStreaming(env, app.StreamingConfig{
+					SampleRateHz: cfg.SampleRateHz,
+					Channels:     2,
+					Signal:       signal,
+				})
+			}, tracer)
+		case AppRpeak:
+			s.AttachApp(func(env app.Env) app.App {
+				return app.NewRpeak(env, app.RpeakConfig{
+					SampleRateHz: cfg.SampleRateHz,
+					Channels:     2,
+					Signal:       signal,
+				})
+			}, tracer)
+		case AppHRV:
+			s.AttachApp(func(env app.Env) app.App {
+				return app.NewHRV(env, app.HRVConfig{
+					SampleRateHz: cfg.SampleRateHz,
+					Signal:       signal,
+				})
+			}, tracer)
+		case AppEEG:
+			s.AttachApp(func(env app.Env) app.App {
+				return app.NewEEGPower(env, app.EEGPowerConfig{
+					Channels:     24,
+					SampleRateHz: cfg.SampleRateHz,
+					Signal:       eeg,
+				})
+			}, tracer)
+		}
+		sensors[i] = s
+		apps[i] = s.App
+	}
+
+	if cfg.BER > 0 || cfg.Burst != nil {
+		names := []string{"bs"}
+		for _, s := range sensors {
+			names = append(names, s.Name)
+		}
+		link := channel.Link{Connected: true, BER: cfg.BER, Burst: cfg.Burst}
+		for _, from := range names {
+			for _, to := range names {
+				if from != to {
+					ch.SetLink(from, to, link)
+				}
+			}
+		}
+	}
+	if len(cfg.Placements) > 0 {
+		// The base station rides at the hip; every path gets the body
+		// model for its site pair under the configured motion.
+		site := map[string]body.Site{"bs": body.Hip}
+		for i, s := range sensors {
+			site[s.Name] = cfg.Placements[i]
+		}
+		for fromName, fromSite := range site {
+			for toName, toSite := range site {
+				if fromName == toName {
+					continue
+				}
+				m := body.LinkModel(fromSite, toSite, cfg.Motion)
+				ch.SetLink(fromName, toName, channel.Link{Connected: true, Burst: &m})
+			}
+		}
+	}
+
+	// Power-on: the base station first, then the nodes staggered a few
+	// milliseconds apart (same power strip, slightly different boot
+	// times) so their first SSRs rarely collide.
+	k.Schedule(0, func(*sim.Kernel) { base.Start() })
+	for i, s := range sensors {
+		s := s
+		k.Schedule(sim.Time(i+1)*cfg.StartStagger, func(*sim.Kernel) { s.Start() })
+	}
+
+	// Warm-up: joins and pipeline fill.
+	k.RunUntil(cfg.Warmup)
+	joinedAll := true
+	for _, s := range sensors {
+		if !s.Mac.Joined() {
+			joinedAll = false
+		}
+	}
+	for _, s := range sensors {
+		s.ResetAccounting(k.Now())
+	}
+	base.ResetAccounting(k.Now())
+
+	// Measurement window.
+	k.RunUntil(cfg.Warmup + cfg.Duration)
+
+	res := Results{
+		Config:    cfg,
+		BSStats:   base.BS.Stats(),
+		Channel:   ch.Stats(),
+		Trace:     tracer,
+		JoinedAll: joinedAll,
+	}
+	res.BSEnergy = base.FinalizeEnergy(k.Now())
+	for i, s := range sensors {
+		nr := NodeResult{
+			Name:   s.Name,
+			ID:     s.ID,
+			Energy: s.FinalizeEnergy(k.Now()),
+			Mac:    s.Mac.Stats(),
+			Radio:  s.Radio.Stats(),
+		}
+		switch a := apps[i].(type) {
+		case *app.Streaming:
+			nr.PacketsSent = a.PacketsSent()
+			nr.PacketsDropped = a.PacketsDropped()
+		case *app.Rpeak:
+			nr.PacketsSent = a.PacketsSent()
+			nr.PacketsDropped = a.PacketsDropped()
+			nr.Beats = a.BeatsDetected()
+		case *app.HRV:
+			nr.PacketsSent = a.WindowsSent()
+			nr.PacketsDropped = a.PacketsDropped()
+			nr.Beats = a.BeatsDetected()
+		case *app.EEGPower:
+			nr.PacketsSent = a.PacketsSent()
+			nr.PacketsDropped = a.PacketsDropped()
+		}
+		res.Nodes = append(res.Nodes, nr)
+	}
+	return res, nil
+}

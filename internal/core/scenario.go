@@ -1,0 +1,80 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/mac"
+	"repro/internal/sim"
+)
+
+// scenarioJSON is the on-disk scenario schema: a flat, readable form of
+// Config with string enums and duration strings.
+type scenarioJSON struct {
+	Mac          string              `json:"mac"`           // "static" | "dynamic"
+	Nodes        int                 `json:"nodes"`         //
+	Cycle        sim.Time            `json:"cycle"`         // "30ms" (static only)
+	App          string              `json:"app"`           // "streaming" | "rpeak" | "hrv" | "eeg"
+	SampleRateHz float64             `json:"sampleRateHz"`  //
+	HeartRateBPM float64             `json:"heartRateBPM"`  //
+	Duration     sim.Time            `json:"duration"`      // "60s"
+	Warmup       sim.Time            `json:"warmup"`        // "3s" (optional)
+	Seed         int64               `json:"seed"`          //
+	BER          float64             `json:"ber"`           //
+	Burst        *channel.BurstModel `json:"burst"`         //
+	DriftPPM     float64             `json:"clockDriftPPM"` //
+	StartStagger sim.Time            `json:"startStagger"`  //
+}
+
+// ConfigFromJSON parses a scenario description. Validation happens at
+// Run; this only decodes the shape.
+func ConfigFromJSON(data []byte) (Config, error) {
+	var s scenarioJSON
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Config{}, fmt.Errorf("core: bad scenario: %w", err)
+	}
+	cfg := Config{
+		Nodes:         s.Nodes,
+		Cycle:         s.Cycle,
+		App:           AppKind(s.App),
+		SampleRateHz:  s.SampleRateHz,
+		HeartRateBPM:  s.HeartRateBPM,
+		Duration:      s.Duration,
+		Warmup:        s.Warmup,
+		Seed:          s.Seed,
+		BER:           s.BER,
+		Burst:         s.Burst,
+		ClockDriftPPM: s.DriftPPM,
+		StartStagger:  s.StartStagger,
+	}
+	switch s.Mac {
+	case "static", "":
+		cfg.Variant = mac.Static
+	case "dynamic":
+		cfg.Variant = mac.Dynamic
+	default:
+		return Config{}, fmt.Errorf("core: unknown mac %q", s.Mac)
+	}
+	return cfg, nil
+}
+
+// ConfigToJSON renders a Config back into the scenario schema.
+func ConfigToJSON(cfg Config) ([]byte, error) {
+	s := scenarioJSON{
+		Mac:          cfg.Variant.String(),
+		Nodes:        cfg.Nodes,
+		Cycle:        cfg.Cycle,
+		App:          string(cfg.App),
+		SampleRateHz: cfg.SampleRateHz,
+		HeartRateBPM: cfg.HeartRateBPM,
+		Duration:     cfg.Duration,
+		Warmup:       cfg.Warmup,
+		Seed:         cfg.Seed,
+		BER:          cfg.BER,
+		Burst:        cfg.Burst,
+		DriftPPM:     cfg.ClockDriftPPM,
+		StartStagger: cfg.StartStagger,
+	}
+	return json.MarshalIndent(s, "", "  ")
+}

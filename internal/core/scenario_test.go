@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/mac"
+	"repro/internal/sim"
+)
+
+func TestConfigFromJSON(t *testing.T) {
+	data := []byte(`{
+        "mac": "dynamic",
+        "nodes": 3,
+        "app": "rpeak",
+        "duration": "30s",
+        "warmup": "2s",
+        "seed": 7,
+        "clockDriftPPM": 50,
+        "burst": {"PGoodToBad": 0.02, "PBadToGood": 0.1, "BERBad": 0.001}
+    }`)
+	cfg, err := ConfigFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Variant != mac.Dynamic || cfg.Nodes != 3 || cfg.App != AppRpeak {
+		t.Fatalf("decoded %+v", cfg)
+	}
+	if cfg.Duration != 30*sim.Second || cfg.Warmup != 2*sim.Second {
+		t.Fatalf("durations: %v %v", cfg.Duration, cfg.Warmup)
+	}
+	if cfg.Burst == nil || cfg.Burst.BERBad != 0.001 {
+		t.Fatalf("burst: %+v", cfg.Burst)
+	}
+	if cfg.ClockDriftPPM != 50 || cfg.Seed != 7 {
+		t.Fatalf("scalars: %+v", cfg)
+	}
+	// The decoded config runs.
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.JoinedAll {
+		t.Fatalf("scenario did not reach steady state")
+	}
+}
+
+func TestConfigFromJSONErrors(t *testing.T) {
+	cases := []string{
+		`{`,                         // malformed
+		`{"mac": "csma"}`,           // unknown variant
+		`{"duration": "yesterday"}`, // bad duration
+	}
+	for i, s := range cases {
+		if _, err := ConfigFromJSON([]byte(s)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	in := Config{
+		Variant:      mac.Static,
+		Nodes:        5,
+		Cycle:        30 * sim.Millisecond,
+		App:          AppStreaming,
+		SampleRateHz: 205,
+		Duration:     60 * sim.Second,
+		Seed:         1,
+		Burst:        &channel.BurstModel{PGoodToBad: 0.1, PBadToGood: 0.2, BERBad: 1e-3},
+	}
+	data, err := ConfigToJSON(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ConfigFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Variant != in.Variant || out.Cycle != in.Cycle || out.App != in.App ||
+		out.SampleRateHz != in.SampleRateHz || out.Duration != in.Duration {
+		t.Fatalf("round trip: %+v", out)
+	}
+	if out.Burst == nil || *out.Burst != *in.Burst {
+		t.Fatalf("burst round trip: %+v", out.Burst)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/mac"
+	"repro/internal/sim"
+)
+
+// TestSoakTenMinutes runs the full 5-node BAN for ten simulated minutes
+// on a bursty channel with clock drift — the paper's pitch is unattended
+// long-term monitoring, so the stack must hold steady state indefinitely:
+// no rejoins, energy exactly 10x the one-minute figure, no queue
+// blow-ups. Skipped under -short.
+func TestSoakTenMinutes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	res, err := Run(Config{
+		Variant:       mac.Static,
+		Nodes:         5,
+		Cycle:         30 * sim.Millisecond,
+		App:           AppStreaming,
+		SampleRateHz:  205,
+		Duration:      10 * sim.Minute,
+		Seed:          21,
+		ClockDriftPPM: 60,
+		Burst:         &channel.BurstModel{PGoodToBad: 0.005, PBadToGood: 0.1, BERBad: 3e-4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.JoinedAll {
+		t.Fatalf("join incomplete")
+	}
+	for _, n := range res.Nodes {
+		if n.Mac.Rejoins != 0 {
+			t.Errorf("%s rejoined %d times in steady state", n.Name, n.Mac.Rejoins)
+		}
+		// 20000 cycles; nearly all beacons heard despite the channel.
+		if n.Mac.BeaconsHeard < 19000 {
+			t.Errorf("%s heard only %d beacons", n.Name, n.Mac.BeaconsHeard)
+		}
+		// Energy scales linearly: ~10x the Table 1 row 1 value per node,
+		// plus the channel-error overhead (bounded band).
+		if mj := n.RadioMJ(); mj < 5200 || mj < 10*549.5*0.95 || mj > 10*549.5*1.15 {
+			t.Errorf("%s radio = %.0f mJ over 10 min, want ~5495 (+noise)", n.Name, mj)
+		}
+		if n.PacketsDropped > n.PacketsSent/10 {
+			t.Errorf("%s dropped %d of %d payloads", n.Name, n.PacketsDropped, n.PacketsSent)
+		}
+	}
+	// Delivery stays near-complete over 100k data frames.
+	var sent, acked uint64
+	for _, n := range res.Nodes {
+		sent += n.Mac.DataSent
+		acked += n.Mac.DataAcked
+	}
+	if float64(acked) < 0.98*float64(sent) {
+		t.Fatalf("delivery ratio %.3f over the soak", float64(acked)/float64(sent))
+	}
+}

@@ -1,0 +1,35 @@
+package ecg
+
+import (
+	"testing"
+
+	"repro/internal/codec"
+)
+
+// BenchmarkSampleAt measures ECG synthesis, the per-acquisition cost of
+// every simulated sampling tick.
+func BenchmarkSampleAt(b *testing.B) {
+	b.ReportAllocs()
+	g := NewGenerator(Params{HeartRateBPM: 75, JitterFrac: 0.02, NoiseAmp: 0.02, Seed: 1})
+	for i := 0; i < b.N; i++ {
+		g.SampleAt(0, int64(i), 200)
+	}
+}
+
+// BenchmarkDetectorPush measures the streaming R-peak detector.
+func BenchmarkDetectorPush(b *testing.B) {
+	b.ReportAllocs()
+	g := NewGenerator(Params{HeartRateBPM: 75, Seed: 1})
+	d := NewDetector(200)
+	// Pre-generate samples so the bench measures detection, not
+	// synthesis.
+	const n = 512
+	samples := make([]codec.Sample, 0, n)
+	for i := int64(0); i < n; i++ {
+		samples = append(samples, g.SampleAt(0, i, 200))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Push(samples[i%n])
+	}
+}

@@ -1,0 +1,316 @@
+// Package energy implements the per-component, per-state energy accounting
+// at the core of the paper's estimation model.
+//
+// The model is the one stated in §4.1 of the paper: E = I·Vdd·t, where t is
+// the residence time of a component in each of its power states. A Meter
+// tracks one component's state machine against virtual time; a Ledger
+// aggregates the meters of one node and additionally attributes radio
+// energy to the loss categories the paper enumerates in §4.2 (collisions,
+// idle listening, overhearing, control packet overhead).
+package energy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// State names one power state of a component ("active", "lpm", "rx", ...).
+type State string
+
+// Draw describes the electrical operating point of one state.
+type Draw struct {
+	CurrentA float64 // current drawn in this state, amperes
+	VoltageV float64 // supply voltage in this state, volts
+}
+
+// Power reports the state's power draw in watts.
+func (d Draw) Power() float64 { return d.CurrentA * d.VoltageV }
+
+// Meter tracks the power-state residency of a single component. The meter
+// integrates energy lazily: it records the instant of the last transition
+// and charges the elapsed interval to the outgoing state when the next
+// transition (or a Flush) occurs.
+type Meter struct {
+	name    string
+	draws   map[State]Draw
+	state   State
+	since   sim.Time
+	timeIn  map[State]sim.Time
+	started bool
+}
+
+// NewMeter creates a meter for a component with the given state table.
+// Call Start before the first transition.
+func NewMeter(name string, draws map[State]Draw) *Meter {
+	cp := make(map[State]Draw, len(draws))
+	for s, d := range draws {
+		cp[s] = d
+	}
+	return &Meter{
+		name:   name,
+		draws:  cp,
+		timeIn: make(map[State]sim.Time),
+	}
+}
+
+// Name reports the component name the meter was created with.
+func (m *Meter) Name() string { return m.name }
+
+// Start begins metering at instant now in the given initial state.
+func (m *Meter) Start(now sim.Time, initial State) {
+	if m.started {
+		panic(fmt.Sprintf("energy: meter %q started twice", m.name))
+	}
+	m.mustKnow(initial)
+	m.state = initial
+	m.since = now
+	m.started = true
+}
+
+// Transition moves the component into next at instant now, charging the
+// elapsed interval to the outgoing state. Transitioning to the current
+// state is a no-op (but still legal, so callers need not special-case it).
+func (m *Meter) Transition(now sim.Time, next State) {
+	if !m.started {
+		panic(fmt.Sprintf("energy: meter %q used before Start", m.name))
+	}
+	m.mustKnow(next)
+	if now < m.since {
+		panic(fmt.Sprintf("energy: meter %q time went backwards (%v -> %v)", m.name, m.since, now))
+	}
+	if next == m.state {
+		return
+	}
+	m.timeIn[m.state] += now - m.since
+	m.state = next
+	m.since = now
+}
+
+// State reports the component's current power state.
+func (m *Meter) State() State {
+	return m.state
+}
+
+// Flush charges the interval since the last transition to the current
+// state, up to instant now, without changing state. Call it once at the
+// end of a run before reading totals.
+func (m *Meter) Flush(now sim.Time) {
+	if !m.started {
+		return
+	}
+	if now < m.since {
+		panic(fmt.Sprintf("energy: meter %q flush time went backwards", m.name))
+	}
+	m.timeIn[m.state] += now - m.since
+	m.since = now
+}
+
+// TimeIn reports the accumulated residence time in state s (after the
+// last Flush or Transition).
+func (m *Meter) TimeIn(s State) sim.Time { return m.timeIn[s] }
+
+// Reset zeroes the accumulated residencies and restarts integration at
+// instant now in the current state. Used after simulation warm-up so a
+// measurement window covers steady state only.
+func (m *Meter) Reset(now sim.Time) {
+	if !m.started {
+		return
+	}
+	if now < m.since {
+		panic(fmt.Sprintf("energy: meter %q reset time went backwards", m.name))
+	}
+	m.timeIn = make(map[State]sim.Time)
+	m.since = now
+}
+
+// EnergyJ reports the total energy in joules accumulated across all
+// states, E = sum_s I_s·V_s·t_s.
+func (m *Meter) EnergyJ() float64 {
+	var e float64
+	for s, t := range m.timeIn {
+		e += m.draws[s].Power() * t.Seconds()
+	}
+	return e
+}
+
+// EnergyInJ reports the energy accumulated in one state.
+func (m *Meter) EnergyInJ(s State) float64 {
+	return m.draws[s].Power() * m.timeIn[s].Seconds()
+}
+
+// States reports the meter's known states in sorted order.
+func (m *Meter) States() []State {
+	out := make([]State, 0, len(m.draws))
+	for s := range m.draws {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TotalTime reports the sum of residence times over all states.
+func (m *Meter) TotalTime() sim.Time {
+	var t sim.Time
+	for _, d := range m.timeIn {
+		t += d
+	}
+	return t
+}
+
+func (m *Meter) mustKnow(s State) {
+	if _, ok := m.draws[s]; !ok {
+		panic(fmt.Sprintf("energy: meter %q has no state %q", m.name, s))
+	}
+}
+
+// LossCategory labels radio energy that the paper's §4.2 classifies as a
+// distinct waste mechanism. Useful energy (delivering the node's own data)
+// is not a loss category.
+type LossCategory string
+
+const (
+	// LossCollision is energy spent on transmissions or receptions that
+	// were corrupted by a concurrent transmission.
+	LossCollision LossCategory = "collision"
+	// LossIdleListening is energy spent with the receiver on while no
+	// frame addressed to anyone was on the air.
+	LossIdleListening LossCategory = "idle-listening"
+	// LossOverhearing is energy spent receiving frames addressed to a
+	// different node (discarded by the nRF2401 address filter).
+	LossOverhearing LossCategory = "overhearing"
+	// LossControl is energy spent sending/receiving control frames
+	// (beacons, slot requests, grants, acks) rather than data.
+	LossControl LossCategory = "control-overhead"
+)
+
+// AllLossCategories lists the categories in report order.
+func AllLossCategories() []LossCategory {
+	return []LossCategory{LossCollision, LossIdleListening, LossOverhearing, LossControl}
+}
+
+// Ledger aggregates the meters of one node plus loss-category attribution.
+type Ledger struct {
+	meters map[string]*Meter
+	order  []string
+	losses map[LossCategory]float64
+}
+
+// NewLedger creates an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		meters: make(map[string]*Meter),
+		losses: make(map[LossCategory]float64),
+	}
+}
+
+// Register adds a meter to the ledger. Component names must be unique.
+func (l *Ledger) Register(m *Meter) {
+	if _, dup := l.meters[m.Name()]; dup {
+		panic(fmt.Sprintf("energy: duplicate meter %q", m.Name()))
+	}
+	l.meters[m.Name()] = m
+	l.order = append(l.order, m.Name())
+}
+
+// Meter returns the registered meter with the given name, or nil.
+func (l *Ledger) Meter(name string) *Meter { return l.meters[name] }
+
+// AttributeLoss charges joules of already-metered energy to a loss
+// category. This is attribution, not additional energy: the joules were
+// integrated by a meter; the category records *why* they were spent.
+func (l *Ledger) AttributeLoss(c LossCategory, joules float64) {
+	if joules < 0 {
+		panic("energy: negative loss attribution")
+	}
+	l.losses[c] += joules
+}
+
+// Loss reports the energy attributed to a category, in joules.
+func (l *Ledger) Loss(c LossCategory) float64 { return l.losses[c] }
+
+// Flush flushes every registered meter at instant now.
+func (l *Ledger) Flush(now sim.Time) {
+	for _, m := range l.meters {
+		m.Flush(now)
+	}
+}
+
+// Reset zeroes every meter and all loss attributions, restarting
+// integration at instant now.
+func (l *Ledger) Reset(now sim.Time) {
+	for _, m := range l.meters {
+		m.Reset(now)
+	}
+	l.losses = make(map[LossCategory]float64)
+}
+
+// TotalJ reports the node's total energy across all components.
+func (l *Ledger) TotalJ() float64 {
+	var e float64
+	for _, m := range l.meters {
+		e += m.EnergyJ()
+	}
+	return e
+}
+
+// Report snapshots the ledger into a plain-data Report.
+func (l *Ledger) Report() Report {
+	r := Report{
+		Components: make([]ComponentReport, 0, len(l.order)),
+		Losses:     make(map[LossCategory]float64, len(l.losses)),
+	}
+	for _, name := range l.order {
+		m := l.meters[name]
+		cr := ComponentReport{Name: name, States: map[State]StateReport{}}
+		for _, s := range m.States() {
+			cr.States[s] = StateReport{Time: m.TimeIn(s), EnergyJ: m.EnergyInJ(s)}
+			cr.EnergyJ += m.EnergyInJ(s)
+		}
+		r.Components = append(r.Components, cr)
+		r.TotalJ += cr.EnergyJ
+	}
+	for c, j := range l.losses {
+		r.Losses[c] = j
+	}
+	return r
+}
+
+// StateReport is the per-state slice of a component report.
+type StateReport struct {
+	Time    sim.Time
+	EnergyJ float64
+}
+
+// ComponentReport is the per-component slice of a node energy report.
+type ComponentReport struct {
+	Name    string
+	EnergyJ float64
+	States  map[State]StateReport
+}
+
+// EnergyMJ reports the component total in millijoules, the unit used in
+// the paper's tables.
+func (c ComponentReport) EnergyMJ() float64 { return c.EnergyJ * 1e3 }
+
+// Report is a plain-data snapshot of a node's energy accounting.
+type Report struct {
+	Components []ComponentReport
+	TotalJ     float64
+	Losses     map[LossCategory]float64
+}
+
+// Component returns the report for the named component (zero value if
+// absent) and whether it was found.
+func (r Report) Component(name string) (ComponentReport, bool) {
+	for _, c := range r.Components {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return ComponentReport{}, false
+}
+
+// TotalMJ reports the node total in millijoules.
+func (r Report) TotalMJ() float64 { return r.TotalJ * 1e3 }

@@ -1,0 +1,172 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section: it runs the event simulator and the closed-form
+// analytic model at each published sweep point and assembles the
+// comparison tables (paper Real, paper Sim, our simulator, our analytic).
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/mac"
+	"repro/internal/paperdata"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// Options tunes a reproduction run.
+type Options struct {
+	// Seed drives the simulations (default 1).
+	Seed int64
+	// Duration overrides the paper's 60 s window (0 keeps it). Shorter
+	// windows speed up smoke runs; energies scale almost linearly.
+	Duration sim.Time
+}
+
+func (o Options) window() sim.Time {
+	if o.Duration > 0 {
+		return o.Duration
+	}
+	return paperdata.Window
+}
+
+func (o Options) seed() int64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return 1
+}
+
+// tableSpec binds a published table to its scenario shape.
+type tableSpec struct {
+	data    paperdata.Table
+	variant mac.Variant
+	app     core.AppKind
+}
+
+func specFor(id string) (tableSpec, error) {
+	switch id {
+	case "table1":
+		return tableSpec{paperdata.Table1(), mac.Static, core.AppStreaming}, nil
+	case "table2":
+		return tableSpec{paperdata.Table2(), mac.Dynamic, core.AppStreaming}, nil
+	case "table3":
+		return tableSpec{paperdata.Table3(), mac.Static, core.AppRpeak}, nil
+	case "table4":
+		return tableSpec{paperdata.Table4(), mac.Dynamic, core.AppRpeak}, nil
+	default:
+		return tableSpec{}, fmt.Errorf("experiments: unknown table %q", id)
+	}
+}
+
+// TableIDs lists the reproducible tables in paper order.
+func TableIDs() []string { return []string{"table1", "table2", "table3", "table4"} }
+
+// runRow executes one sweep point on the event simulator.
+func runRow(spec tableSpec, row paperdata.Row, o Options) (core.NodeResult, error) {
+	cfg := core.Config{
+		Variant:      spec.variant,
+		Nodes:        row.Nodes,
+		App:          spec.app,
+		SampleRateHz: row.SampleRateHz,
+		Duration:     o.window(),
+		Seed:         o.seed(),
+	}
+	if spec.variant == mac.Static {
+		cfg.Cycle = row.Cycle
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		return core.NodeResult{}, err
+	}
+	if !res.JoinedAll {
+		return core.NodeResult{}, fmt.Errorf("experiments: join incomplete for %s", row.Label)
+	}
+	return res.Node(), nil
+}
+
+// analyticRow evaluates the closed-form model at one sweep point.
+func analyticRow(spec tableSpec, row paperdata.Row, o Options) (analytic.Estimate, error) {
+	return analytic.Compute(analytic.Scenario{
+		Variant:      spec.variant,
+		Nodes:        row.Nodes,
+		Cycle:        row.Cycle,
+		App:          string(spec.app),
+		SampleRateHz: row.SampleRateHz,
+		Duration:     o.window(),
+	})
+}
+
+// scale converts a sub-window measurement back to the paper's 60 s basis
+// so the comparison columns stay commensurable.
+func (o Options) scale() float64 {
+	return float64(paperdata.Window) / float64(o.window())
+}
+
+// Reproduce regenerates one published table.
+func Reproduce(id string, o Options) (report.TableReport, error) {
+	spec, err := specFor(id)
+	if err != nil {
+		return report.TableReport{}, err
+	}
+	out := report.TableReport{ID: spec.data.ID, Caption: spec.data.Caption}
+	for _, row := range spec.data.Rows {
+		nr, err := runRow(spec, row, o)
+		if err != nil {
+			return report.TableReport{}, err
+		}
+		an, err := analyticRow(spec, row, o)
+		if err != nil {
+			return report.TableReport{}, err
+		}
+		s := o.scale()
+		out.Rows = append(out.Rows, report.Comparison{
+			Label:           row.Label,
+			CycleMS:         row.Cycle.Milliseconds(),
+			RadioRealMJ:     row.RadioRealMJ,
+			RadioSimMJ:      row.RadioSimMJ,
+			MCURealMJ:       row.MCURealMJ,
+			MCUSimMJ:        row.MCUSimMJ,
+			OursRadioMJ:     nr.RadioMJ() * s,
+			OursMCUMJ:       nr.MCUMJ() * s,
+			AnalyticRadioMJ: an.RadioMJ() * s,
+			AnalyticMCUMJ:   an.MCUMJ() * s,
+		})
+	}
+	return out, nil
+}
+
+// ReproduceAll regenerates the four tables.
+func ReproduceAll(o Options) ([]report.TableReport, error) {
+	var out []report.TableReport
+	for _, id := range TableIDs() {
+		t, err := Reproduce(id, o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Figure4 reproduces the streaming-vs-Rpeak comparison: the 205 Hz/30 ms
+// streaming point against the 120 ms on-node Rpeak point, as stacked
+// radio+µC bars.
+func Figure4(o Options) ([]report.Bar, error) {
+	sSpec, _ := specFor("table1")
+	rSpec, _ := specFor("table3")
+	stream, err := runRow(sSpec, paperdata.Table1().Rows[0], o)
+	if err != nil {
+		return nil, err
+	}
+	rp, err := runRow(rSpec, paperdata.Table3().Rows[3], o)
+	if err != nil {
+		return nil, err
+	}
+	s := o.scale()
+	return []report.Bar{
+		{Label: "ECG streaming (30ms)", RadioMJ: stream.RadioMJ() * s, MCUMJ: stream.MCUMJ() * s},
+		{Label: "Rpeak on node (120ms)", RadioMJ: rp.RadioMJ() * s, MCUMJ: rp.MCUMJ() * s},
+	}, nil
+}

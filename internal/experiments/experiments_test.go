@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Short windows keep this suite fast; the bench harness runs the full
+// 60 s windows.
+var fast = Options{Seed: 1, Duration: 6 * sim.Second}
+
+func TestTableIDs(t *testing.T) {
+	ids := TableIDs()
+	if len(ids) != 4 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestUnknownTable(t *testing.T) {
+	if _, err := Reproduce("table9", fast); err == nil {
+		t.Fatalf("unknown table accepted")
+	}
+}
+
+func TestReproduceTable1Fast(t *testing.T) {
+	tab, err := Reproduce("table1", fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Sub-window runs scale back to the 60 s basis: the error vs the
+	// paper stays moderate even at 1/10 duration.
+	if tab.AvgAbsRadioErrVsReal() > 12 {
+		t.Fatalf("fast-run radio error %.1f%% too large", tab.AvgAbsRadioErrVsReal())
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "TABLE1") || !strings.Contains(out, "540.6") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+func TestReproduceAllFast(t *testing.T) {
+	tabs, err := ReproduceAll(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 4 {
+		t.Fatalf("tables = %d", len(tabs))
+	}
+	for _, tab := range tabs {
+		for _, r := range tab.Rows {
+			if r.OursRadioMJ <= 0 || r.OursMCUMJ <= 0 ||
+				r.AnalyticRadioMJ <= 0 || r.AnalyticMCUMJ <= 0 {
+				t.Fatalf("%s/%s has empty columns: %+v", tab.ID, r.Label, r)
+			}
+		}
+	}
+}
+
+func TestExtensionsFast(t *testing.T) {
+	ext, err := Extensions(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape assertions at the reduced window.
+	if ext.MCUShareLowHz <= ext.MCUShareHighHz {
+		t.Fatalf("µC share must grow at lower rates: %.1f vs %.1f",
+			ext.MCUShareLowHz, ext.MCUShareHighHz)
+	}
+	if ext.ControlShare < 50 || ext.ControlShare > 100 {
+		t.Fatalf("control share = %.1f%%", ext.ControlShare)
+	}
+	if ext.CrystalMissed != 0 || ext.DCOMissed == 0 {
+		t.Fatalf("drift cliff wrong: crystal=%d dco=%d", ext.CrystalMissed, ext.DCOMissed)
+	}
+	if !(ext.MCU1MHz < ext.MCU4MHz && ext.MCU4MHz < ext.MCU8MHz) {
+		t.Fatalf("clock scaling not monotone: %.1f %.1f %.1f",
+			ext.MCU1MHz, ext.MCU4MHz, ext.MCU8MHz)
+	}
+	if !(ext.HRVTotalMJ < ext.RpeakTotalMJ && ext.RpeakTotalMJ < ext.StreamingTotalMJ) {
+		t.Fatalf("ladder not monotone: %.1f %.1f %.1f",
+			ext.StreamingTotalMJ, ext.RpeakTotalMJ, ext.HRVTotalMJ)
+	}
+	out := ext.Render()
+	if !strings.Contains(out, "EXTENSION EXPERIMENTS") ||
+		!strings.Contains(out, "preprocessing ladder") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}
+
+func TestFigure4Fast(t *testing.T) {
+	bars, err := Figure4(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bars) != 2 {
+		t.Fatalf("bars = %d", len(bars))
+	}
+	saving := 1 - bars[1].Total()/bars[0].Total()
+	if saving < 0.5 || saving > 0.8 {
+		t.Fatalf("saving = %.2f, want ~0.65", saving)
+	}
+}

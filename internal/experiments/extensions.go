@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mac"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// ExtensionResults aggregates the extension-experiment metrics reported
+// in EXPERIMENTS.md (the quantities the ablation benches also emit).
+type ExtensionResults struct {
+	// MCUShareHighHz / LowHz: µC share of radio+µC energy at the Table 1
+	// extremes (205 Hz/30 ms and 55 Hz/120 ms).
+	MCUShareHighHz, MCUShareLowHz float64
+	// ControlShare: control-overhead share of streaming radio energy.
+	ControlShare float64
+	// Drift: radio energy and missed beacons at crystal (50 ppm) and
+	// DCO-grade (3%) clock error, 120 ms cycle.
+	CrystalRadioMJ, DCORadioMJ float64
+	CrystalMissed, DCOMissed   uint64
+	// Clock scaling: Rpeak µC energy at 8/4/1 MHz.
+	MCU8MHz, MCU4MHz, MCU1MHz float64
+	// Ladder: total (radio+µC) energy of the preprocessing staircase.
+	StreamingTotalMJ, RpeakTotalMJ, HRVTotalMJ float64
+}
+
+// Extensions runs the extension experiments at the given options.
+func Extensions(o Options) (ExtensionResults, error) {
+	var out ExtensionResults
+	run := func(cfg core.Config) (core.NodeResult, error) {
+		cfg.Duration = o.window()
+		cfg.Seed = o.seed()
+		res, err := core.Run(cfg)
+		if err != nil {
+			return core.NodeResult{}, err
+		}
+		return res.Node(), nil
+	}
+
+	hi, err := run(core.Config{Variant: mac.Static, Nodes: 5, Cycle: 30 * sim.Millisecond,
+		App: core.AppStreaming, SampleRateHz: 205})
+	if err != nil {
+		return out, err
+	}
+	lo, err := run(core.Config{Variant: mac.Static, Nodes: 5, Cycle: 120 * sim.Millisecond,
+		App: core.AppStreaming, SampleRateHz: 55})
+	if err != nil {
+		return out, err
+	}
+	out.MCUShareHighHz = hi.MCUMJ() / hi.TotalMJ() * 100
+	out.MCUShareLowHz = lo.MCUMJ() / lo.TotalMJ() * 100
+	out.ControlShare = hi.Energy.Losses["control-overhead"] * 1e3 / hi.RadioMJ() * 100
+	out.StreamingTotalMJ = hi.TotalMJ() * o.scale()
+
+	driftCfg := core.Config{Variant: mac.Static, Nodes: 1, Cycle: 120 * sim.Millisecond,
+		App: core.AppStreaming, SampleRateHz: 55}
+	driftCfg.ClockDriftPPM = 50
+	crystal, err := run(driftCfg)
+	if err != nil {
+		return out, err
+	}
+	driftCfg.ClockDriftPPM = 30000
+	dco, err := run(driftCfg)
+	if err != nil {
+		return out, err
+	}
+	out.CrystalRadioMJ = crystal.RadioMJ() * o.scale()
+	out.DCORadioMJ = dco.RadioMJ() * o.scale()
+	out.CrystalMissed = crystal.Mac.BeaconsMissed
+	out.DCOMissed = dco.Mac.BeaconsMissed
+
+	for _, c := range []struct {
+		hz   float64
+		dest *float64
+	}{{8e6, &out.MCU8MHz}, {4e6, &out.MCU4MHz}, {1e6, &out.MCU1MHz}} {
+		prof := platform.IMEC()
+		prof.MCU = prof.MCU.AtClock(c.hz)
+		n, err := run(core.Config{Variant: mac.Static, Nodes: 1, Cycle: 120 * sim.Millisecond,
+			App: core.AppRpeak, Profile: &prof})
+		if err != nil {
+			return out, err
+		}
+		*c.dest = n.MCUMJ() * o.scale()
+	}
+
+	rp, err := run(core.Config{Variant: mac.Static, Nodes: 5, Cycle: 120 * sim.Millisecond,
+		App: core.AppRpeak})
+	if err != nil {
+		return out, err
+	}
+	hrv, err := run(core.Config{Variant: mac.Static, Nodes: 5, Cycle: 120 * sim.Millisecond,
+		App: core.AppHRV})
+	if err != nil {
+		return out, err
+	}
+	out.RpeakTotalMJ = rp.TotalMJ() * o.scale()
+	out.HRVTotalMJ = hrv.TotalMJ() * o.scale()
+	return out, nil
+}
+
+// Render formats the extension results for the terminal.
+func (e ExtensionResults) Render() string {
+	var b strings.Builder
+	b.WriteString("EXTENSION EXPERIMENTS (60 s basis)\n")
+	fmt.Fprintf(&b, "  uC share of radio+uC energy: %.1f%% at 205Hz/30ms, %.1f%% at 55Hz/120ms\n",
+		e.MCUShareHighHz, e.MCUShareLowHz)
+	fmt.Fprintf(&b, "  control overhead share of streaming radio energy: %.1f%%\n", e.ControlShare)
+	fmt.Fprintf(&b, "  clock drift @120ms cycle: 50ppm -> %.1f mJ radio, %d missed beacons\n",
+		e.CrystalRadioMJ, e.CrystalMissed)
+	fmt.Fprintf(&b, "                            3%%    -> %.1f mJ radio, %d missed beacons\n",
+		e.DCORadioMJ, e.DCOMissed)
+	fmt.Fprintf(&b, "  MCU clock scaling (rpeak uC): 8MHz %.1f mJ, 4MHz %.1f mJ, 1MHz %.1f mJ\n",
+		e.MCU8MHz, e.MCU4MHz, e.MCU1MHz)
+	fmt.Fprintf(&b, "  preprocessing ladder (radio+uC): streaming %.1f -> rpeak %.1f -> hrv %.1f mJ\n",
+		e.StreamingTotalMJ, e.RpeakTotalMJ, e.HRVTotalMJ)
+	return b.String()
+}

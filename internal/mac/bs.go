@@ -1,0 +1,372 @@
+package mac
+
+import (
+	"sort"
+
+	"repro/internal/energy"
+	"repro/internal/packet"
+	"repro/internal/platform"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/tinyos"
+	"repro/internal/trace"
+)
+
+// BSConfig parameterises the base-station MAC.
+type BSConfig struct {
+	Variant Variant
+	// Profile is normally platform.BaseStation().
+	Profile platform.Profile
+	// StaticCycle is the fixed TDMA cycle (static variant only).
+	StaticCycle sim.Time
+	// MaxSlots caps the network size; 0 selects the profile default for
+	// the variant.
+	MaxSlots int
+	// GrantRepeat is how many consecutive beacons repeat a static grant
+	// (the grant then expires to keep the steady-state beacon small).
+	GrantRepeat int
+	// Plan is the BAN's address assignment; the zero value selects
+	// packet.DefaultPlan().
+	Plan packet.AddressPlan
+}
+
+// BSStats counts base-station events.
+type BSStats struct {
+	BeaconsSent  uint64
+	DataReceived uint64
+	AcksSent     uint64
+	SSRReceived  uint64
+	SSRRejected  uint64
+	StrayFrames  uint64
+}
+
+// RxRecord is one data frame the base station accepted.
+type RxRecord struct {
+	Node    uint8
+	Payload []byte
+	At      sim.Time
+}
+
+// grant is a static-TDMA slot grant still being advertised.
+type grant struct {
+	entry packet.SlotEntry
+	left  int // beacons remaining
+}
+
+// BS is the base station: it regulates the TDMA timing by broadcasting
+// beacons, receives the nodes' data (acknowledging each frame), and
+// assigns slots in answer to slot requests.
+type BS struct {
+	k      *sim.Kernel
+	cfg    BSConfig
+	sched  *tinyos.Sched
+	radio  *radio.Radio
+	ledger *energy.Ledger
+	tracer *trace.Recorder
+
+	t0       sim.Time // air-start of the current beacon
+	cycle    sim.Time // current cycle length
+	seq      uint16
+	maxSlots int
+
+	nodeSlot map[uint8]int
+	slotNode map[int]uint8
+	grants   []grant
+
+	onData   func(rec RxRecord)
+	received []RxRecord
+	stats    BSStats
+	started  bool
+	// inBeaconPrep marks the SB region: from beacon preparation until
+	// the beacon has flown, the radio is owned by the beacon path and
+	// data acknowledgements are suppressed (the sender retries).
+	inBeaconPrep bool
+}
+
+// NewBS wires a base station over its radio and OS.
+func NewBS(k *sim.Kernel, cfg BSConfig, sched *tinyos.Sched, r *radio.Radio,
+	ledger *energy.Ledger, tracer *trace.Recorder) *BS {
+	if cfg.MaxSlots <= 0 {
+		if cfg.Variant == Dynamic {
+			cfg.MaxSlots = cfg.Profile.MAC.MaxDynamicSlots
+		} else {
+			cfg.MaxSlots = cfg.Profile.MAC.MaxStaticSlots
+		}
+	}
+	if cfg.GrantRepeat <= 0 {
+		cfg.GrantRepeat = 2
+	}
+	if cfg.Variant == Static && cfg.StaticCycle <= 0 {
+		panic("mac: static base station needs a cycle length")
+	}
+	if cfg.Plan == (packet.AddressPlan{}) {
+		cfg.Plan = packet.DefaultPlan()
+	}
+	bs := &BS{
+		k:        k,
+		cfg:      cfg,
+		sched:    sched,
+		radio:    r,
+		ledger:   ledger,
+		tracer:   tracer,
+		maxSlots: cfg.MaxSlots,
+		nodeSlot: make(map[uint8]int),
+		slotNode: make(map[int]uint8),
+	}
+	r.SetReceiveHandler(bs.onFrame)
+	return bs
+}
+
+// OnData registers a callback for each accepted data frame (the "forward
+// to the PC/PDA" hook).
+func (bs *BS) OnData(fn func(rec RxRecord)) { bs.onData = fn }
+
+// Received returns the accepted data frames in arrival order.
+func (bs *BS) Received() []RxRecord { return bs.received }
+
+// Stats returns a copy of the counters.
+func (bs *BS) Stats() BSStats { return bs.stats }
+
+// CycleLength reports the current TDMA cycle.
+func (bs *BS) CycleLength() sim.Time { return bs.currentCycle() }
+
+// Nodes reports the joined node IDs in slot order.
+func (bs *BS) Nodes() []uint8 {
+	slots := make([]int, 0, len(bs.slotNode))
+	for s := range bs.slotNode {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	out := make([]uint8, 0, len(slots))
+	for _, s := range slots {
+		out = append(out, bs.slotNode[s])
+	}
+	return out
+}
+
+// ResetAccounting zeroes statistics and the received-frame log.
+func (bs *BS) ResetAccounting() {
+	bs.stats = BSStats{}
+	bs.received = nil
+}
+
+// Start begins the beacon cycle. The first beacon flies one cycle after
+// Start so nodes powered on at t=0 are already listening.
+func (bs *BS) Start() {
+	if bs.started {
+		panic("mac: base station started twice")
+	}
+	bs.started = true
+	bs.cycle = bs.currentCycle()
+	bs.radio.SetRxAddresses(bs.cfg.Plan.BSData, bs.cfg.Plan.BSCtrl)
+	bs.radio.StartRx()
+	bs.scheduleBeacon(bs.k.Now() + bs.cycle)
+}
+
+// currentCycle derives the cycle from the variant and the join state.
+func (bs *BS) currentCycle() sim.Time {
+	if bs.cfg.Variant == Static {
+		return bs.cfg.StaticCycle
+	}
+	// Dynamic: SB+ES region plus one slot per joined node.
+	return bs.cfg.Profile.MAC.DynamicSlotDuration * sim.Time(len(bs.nodeSlot)+1)
+}
+
+// slotDuration mirrors the node-side computation.
+func (bs *BS) slotDuration() sim.Time {
+	if bs.cfg.Variant == Dynamic {
+		return bs.cfg.Profile.MAC.DynamicSlotDuration
+	}
+	return bs.cycle / sim.Time(bs.cfg.Profile.MAC.MaxStaticSlots+1)
+}
+
+// scheduleBeacon arms the beacon whose burst must start at fireAt.
+func (bs *BS) scheduleBeacon(fireAt sim.Time) {
+	p := bs.cfg.Profile
+	// Preparation lead: build task + FIFO load + margin.
+	lead := p.MCU.CyclesToTime(p.Cost.BSBeaconBuild) +
+		p.Radio.TxClockIn(p.Radio.AddressBytes+bs.maxBeaconBytes()) +
+		150*sim.Microsecond
+	bs.k.ScheduleAt(fireAt-lead-p.Radio.TxSettle, func(*sim.Kernel) {
+		bs.prepareBeacon(fireAt)
+	})
+}
+
+// maxBeaconBytes bounds the beacon payload for lead-time sizing.
+func (bs *BS) maxBeaconBytes() int {
+	return packet.BeaconBaseBytes + packet.SlotEntryBytes*bs.maxSlots
+}
+
+// prepareBeacon builds and loads the beacon, then fires it on time.
+func (bs *BS) prepareBeacon(fireAt sim.Time) {
+	p := bs.cfg.Profile
+	bs.inBeaconPrep = true
+	bs.radio.Standby() // stop listening; the SB slot begins
+	bs.sched.Interrupt("bs-beacon-build", p.Cost.BSBeaconBuild, func() {
+		bs.cycle = bs.currentCycle() // dynamic growth takes effect here
+		bs.seq++
+		b := packet.Beacon{
+			Seq:         bs.seq,
+			CycleMicros: uint32(bs.cycle / sim.Microsecond),
+			Entries:     bs.beaconEntries(),
+		}
+		// The burst should start at fireAt, but under MCU congestion
+		// (a slot-assign task from a late SSR, say) the FIFO load can
+		// slip past the nominal instant; the beacon then flies as soon
+		// as the load completes, and the nodes' guard margins absorb
+		// the small delay.
+		loaded, due := false, false
+		fire := func() {
+			bs.radio.Fire(func() {
+				bs.inBeaconPrep = false
+				bs.stats.BeaconsSent++
+				bs.tracer.Recordf(bs.k.Now(), "bs", trace.KindBeaconTx,
+					"seq=%d cycle=%v nodes=%d", bs.seq, bs.cycle, len(bs.nodeSlot))
+				bs.radio.SetRxAddresses(bs.cfg.Plan.BSData, bs.cfg.Plan.BSCtrl)
+				bs.radio.StartRx()
+				// The burst just ended; its air start is the reference.
+				bs.t0 = bs.k.Now() - p.Radio.Airtime(len(b.Marshal()))
+				bs.scheduleBeacon(bs.t0 + bs.cycle)
+			})
+		}
+		bs.radio.Load(bs.cfg.Plan.Beacon, b.Marshal(), func() {
+			loaded = true
+			if due {
+				fire()
+			}
+		})
+		fireEvent := fireAt - p.Radio.TxSettle
+		if fireEvent < bs.k.Now() {
+			fireEvent = bs.k.Now() // congestion ate the lead; fly late
+		}
+		bs.k.ScheduleAt(fireEvent, func(*sim.Kernel) {
+			due = true
+			if loaded {
+				fire()
+			}
+		})
+	})
+}
+
+// beaconEntries assembles the advertisement list: the full slot table for
+// dynamic TDMA, the active grants for static TDMA.
+func (bs *BS) beaconEntries() []packet.SlotEntry {
+	if bs.cfg.Variant == Dynamic {
+		entries := make([]packet.SlotEntry, 0, len(bs.nodeSlot))
+		for slot, node := range bs.slotNode {
+			entries = append(entries, packet.SlotEntry{NodeID: node, Slot: uint8(slot)})
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Slot < entries[j].Slot })
+		return entries
+	}
+	var entries []packet.SlotEntry
+	var live []grant
+	for _, g := range bs.grants {
+		entries = append(entries, g.entry)
+		if g.left--; g.left > 0 {
+			live = append(live, g)
+		}
+	}
+	bs.grants = live
+	return entries
+}
+
+// onFrame dispatches node frames.
+func (bs *BS) onFrame(f packet.Frame) {
+	switch f.Dest {
+	case bs.cfg.Plan.BSCtrl:
+		if ssr, err := packet.UnmarshalSSR(f.Payload); err == nil {
+			bs.handleSSR(ssr)
+		}
+	case bs.cfg.Plan.BSData:
+		bs.handleData(f.Payload)
+	}
+}
+
+// handleSSR assigns a slot (or repeats an existing assignment for a
+// retrying node) and advertises it in upcoming beacons.
+func (bs *BS) handleSSR(ssr packet.SSR) {
+	bs.stats.SSRReceived++
+	bs.sched.PostFn("bs-slot-assign", bs.cfg.Profile.Cost.BSSlotAssign, func() {
+		slot, exists := bs.nodeSlot[ssr.NodeID]
+		if !exists {
+			if len(bs.nodeSlot) >= bs.maxSlots {
+				// "Once reached the limit no other nodes are accepted."
+				bs.stats.SSRRejected++
+				return
+			}
+			slot = bs.nextFreeSlot()
+			bs.nodeSlot[ssr.NodeID] = slot
+			bs.slotNode[slot] = ssr.NodeID
+			if bs.cfg.Variant == Dynamic {
+				bs.tracer.Recordf(bs.k.Now(), "bs", trace.KindCycleGrow,
+					"nodes=%d next-cycle=%v", len(bs.nodeSlot), bs.currentCycle())
+			}
+		}
+		bs.tracer.Recordf(bs.k.Now(), "bs", trace.KindSlotGrant,
+			"node=%d slot=%d", ssr.NodeID, slot)
+		if bs.cfg.Variant == Static {
+			bs.grants = append(bs.grants, grant{
+				entry: packet.SlotEntry{NodeID: ssr.NodeID, Slot: uint8(slot)},
+				left:  bs.cfg.GrantRepeat,
+			})
+		}
+	})
+}
+
+// nextFreeSlot returns the lowest unassigned slot index.
+func (bs *BS) nextFreeSlot() int {
+	for s := 0; ; s++ {
+		if _, used := bs.slotNode[s]; !used {
+			return s
+		}
+	}
+}
+
+// handleData identifies the sender from the slot timing, acknowledges the
+// frame and hands it to the data sink.
+func (bs *BS) handleData(payload []byte) {
+	p := bs.cfg.Profile
+	airStart := bs.radio.LastRxFrameEnd() - p.Radio.Airtime(len(payload))
+	offset := airStart - bs.t0
+	slotDur := bs.slotDuration()
+	slot := int(offset/slotDur) - 1
+	node, known := bs.slotNode[slot]
+	if !known {
+		bs.stats.StrayFrames++
+		return
+	}
+	rec := RxRecord{Node: node, Payload: append([]byte(nil), payload...), At: bs.k.Now()}
+	bs.received = append(bs.received, rec)
+	bs.stats.DataReceived++
+	bs.tracer.Recordf(bs.k.Now(), "bs", trace.KindDataRx, "node=%d len=%d", node, len(payload))
+
+	// Fast-path acknowledgement: turn the radio around immediately; the
+	// deferred forwarding task is posted only once the ack is on its way
+	// so it cannot delay the FIFO load past the node's listen window.
+	// During beacon preparation the radio belongs to the beacon path and
+	// the ack is suppressed — a desynchronised sender transmitting into
+	// the SB region simply retries.
+	if bs.inBeaconPrep {
+		return
+	}
+	bs.sched.Interrupt("bs-ack-turnaround", p.Cost.BSAckTurnaround, func() {
+		if bs.inBeaconPrep {
+			return
+		}
+		bs.radio.Standby()
+		bs.radio.Load(bs.cfg.Plan.NodeAddr(node), packet.Ack{}.Marshal(), func() {
+			bs.radio.Fire(func() {
+				bs.stats.AcksSent++
+				bs.radio.SetRxAddresses(bs.cfg.Plan.BSData, bs.cfg.Plan.BSCtrl)
+				bs.radio.StartRx()
+			})
+			// Forwarding to the collecting device, off the fast path.
+			bs.sched.PostFn("bs-data-handle", p.Cost.BSDataHandle, func() {
+				if bs.onData != nil {
+					bs.onData(rec)
+				}
+			})
+		})
+	})
+}

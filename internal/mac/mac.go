@@ -1,0 +1,96 @@
+// Package mac implements the networking stack of the BAN: the
+// energy-efficient TDMA MAC layer of §3.2.2, in both the static variant
+// (fixed slot count, joins answered from a bounded grant pool) and the
+// dynamic variant (the cycle grows at run time as nodes join, slot table
+// broadcast in every beacon).
+//
+// The base station regulates timing by broadcasting beacons in its SB
+// slot; a sensor node joins by transmitting a slot request (SSR) — in the
+// receive region for static TDMA, at a random offset inside the empty
+// slot (ES) for dynamic TDMA — and then exchanges data with the base
+// station in its assigned slot, sleeping its radio for the rest of the
+// cycle.
+package mac
+
+import (
+	"repro/internal/sim"
+)
+
+// Variant selects the TDMA flavour.
+type Variant int
+
+const (
+	// Static is the fixed-slot-count TDMA of Figure 2.
+	Static Variant = iota
+	// Dynamic is the run-time-growing TDMA of Figure 3.
+	Dynamic
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	if v == Dynamic {
+		return "dynamic"
+	}
+	return "static"
+}
+
+// Mac is the application's view of the node-side MAC.
+type Mac interface {
+	// Start begins the join procedure (listen for a beacon, request a
+	// slot).
+	Start()
+	// Send queues a data payload for transmission in the node's slot.
+	// It reports false when the transmit queue is full (the payload is
+	// dropped and counted).
+	Send(payload []byte) bool
+	// Joined reports whether the node holds a slot.
+	Joined() bool
+	// Slot reports the assigned slot index (valid when Joined).
+	Slot() int
+	// CycleLength reports the current TDMA cycle length as learned from
+	// the most recent beacon.
+	CycleLength() sim.Time
+	// OnJoined registers a callback invoked once when the join
+	// handshake completes (the node layer starts the application here).
+	OnJoined(fn func())
+	// Stats returns a copy of the MAC counters.
+	Stats() Stats
+}
+
+// Stats counts node-MAC protocol events.
+type Stats struct {
+	BeaconsHeard  uint64
+	BeaconsMissed uint64
+	SSRSent       uint64
+	DataSent      uint64
+	DataAcked     uint64
+	AckMissed     uint64
+	Retries       uint64
+	QueueDrops    uint64
+	Rejoins       uint64
+	// LatencySum/LatencyMax/LatencyCount aggregate the queueing delay
+	// from Send() to the start of the transmitting burst — the
+	// performance figure that pairs with the energy numbers: TDMA trades
+	// latency (wait for your slot) for collision-free delivery.
+	LatencySum   sim.Time
+	LatencyMax   sim.Time
+	LatencyCount uint64
+}
+
+// AvgLatency reports the mean Send-to-burst queueing delay.
+func (s Stats) AvgLatency() sim.Time {
+	if s.LatencyCount == 0 {
+		return 0
+	}
+	return s.LatencySum / sim.Time(s.LatencyCount)
+}
+
+// DefaultTxQueueCap bounds the node's pending-payload queue.
+const DefaultTxQueueCap = 4
+
+// DefaultMaxRetries bounds retransmissions of an unacknowledged frame.
+const DefaultMaxRetries = 2
+
+// missedBeaconRejoinThreshold forces a rejoin after this many
+// consecutive silent beacon windows.
+const missedBeaconRejoinThreshold = 5

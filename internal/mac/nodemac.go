@@ -1,0 +1,595 @@
+package mac
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/packet"
+	"repro/internal/platform"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/tinyos"
+	"repro/internal/trace"
+)
+
+// nodeState is the join state machine.
+type nodeState int
+
+const (
+	stateSearching  nodeState = iota // continuous listen for a first beacon
+	stateRequesting                  // beacon-synced, slot request pending
+	stateJoined                      // slot held, steady-state duty cycle
+)
+
+// NodeConfig parameterises a node-side MAC instance.
+type NodeConfig struct {
+	Variant Variant
+	NodeID  uint8
+	Profile platform.Profile
+	// TxQueueCap and MaxRetries default to the package constants when 0.
+	TxQueueCap int
+	MaxRetries int
+	// Plan is the BAN's address assignment; the zero value selects
+	// packet.DefaultPlan(). Co-located networks use distinct plans.
+	Plan packet.AddressPlan
+	// ClockDriftPPM is the node oscillator's frequency error in parts
+	// per million (signed; positive = the node's clock runs slow, so its
+	// timers fire late). Every interval the node times off a beacon
+	// stretches by this factor; the beacon guard margins exist to absorb
+	// exactly this error. Crystals sit at ±20-100 ppm; the MSP430's
+	// internal DCO can be off by 1-3% (10000-30000 ppm), which overruns
+	// the calibrated guards at long cycles.
+	ClockDriftPPM float64
+}
+
+// NodeMac is the sensor-node side of the TDMA protocol.
+type NodeMac struct {
+	k      *sim.Kernel
+	cfg    NodeConfig
+	name   string
+	sched  *tinyos.Sched
+	radio  *radio.Radio
+	ledger *energy.Ledger
+	tracer *trace.Recorder
+
+	state    nodeState
+	t0       sim.Time // air-start instant of the current cycle's beacon
+	cycle    sim.Time // cycle length from the latest beacon
+	slot     int
+	onJoined func()
+
+	queue    []txItem
+	loading  bool // FIFO clock-in in progress
+	loaded   bool
+	inFlight *txItem // frame in the FIFO / awaiting ack (for retry)
+
+	missed        int
+	windowOpenAt  sim.Time
+	windowTimeout sim.EventID
+	windowActive  bool
+	ackOpenAt     sim.Time
+	ackTimeout    sim.EventID
+	ackWaiting    bool
+	joinListenAt  sim.Time
+	ssrNonce      uint16
+	ssrScheduled  bool
+
+	stats Stats
+	// Accounting for the paper's loss categories.
+	controlRxTime sim.Time
+	controlTxTime sim.Time
+	joinIdleTime  sim.Time
+}
+
+// NewNodeMac wires a node MAC over its radio and OS.
+func NewNodeMac(k *sim.Kernel, cfg NodeConfig, sched *tinyos.Sched, r *radio.Radio,
+	ledger *energy.Ledger, tracer *trace.Recorder) *NodeMac {
+	if cfg.TxQueueCap <= 0 {
+		cfg.TxQueueCap = DefaultTxQueueCap
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.Plan == (packet.AddressPlan{}) {
+		cfg.Plan = packet.DefaultPlan()
+	}
+	m := &NodeMac{
+		k:      k,
+		cfg:    cfg,
+		name:   r.Name(),
+		sched:  sched,
+		radio:  r,
+		ledger: ledger,
+		tracer: tracer,
+		slot:   -1,
+	}
+	r.SetReceiveHandler(m.onFrame)
+	return m
+}
+
+// Start implements Mac.
+func (m *NodeMac) Start() {
+	m.state = stateSearching
+	m.radio.SetRxAddresses(m.cfg.Plan.Beacon)
+	m.radio.StartRx()
+	m.joinListenAt = m.k.Now()
+}
+
+// OnJoined implements Mac.
+func (m *NodeMac) OnJoined(fn func()) { m.onJoined = fn }
+
+// Joined implements Mac.
+func (m *NodeMac) Joined() bool { return m.state == stateJoined }
+
+// Slot implements Mac.
+func (m *NodeMac) Slot() int { return m.slot }
+
+// CycleLength implements Mac.
+func (m *NodeMac) CycleLength() sim.Time { return m.cycle }
+
+// Stats implements Mac.
+func (m *NodeMac) Stats() Stats { return m.stats }
+
+// ControlRxTime reports receiver-on time spent in control windows
+// (beacon listening, ack listening) for loss accounting.
+func (m *NodeMac) ControlRxTime() sim.Time { return m.controlRxTime }
+
+// ControlTxTime reports transmit time spent on control frames (SSRs).
+func (m *NodeMac) ControlTxTime() sim.Time { return m.controlTxTime }
+
+// JoinIdleTime reports the continuous-listen time burned while searching
+// for the network (the paper's idle-listening loss).
+func (m *NodeMac) JoinIdleTime() sim.Time { return m.joinIdleTime }
+
+// ResetAccounting zeroes statistics and loss accumulators (post-warmup).
+func (m *NodeMac) ResetAccounting() {
+	m.stats = Stats{}
+	m.controlRxTime = 0
+	m.controlTxTime = 0
+	m.joinIdleTime = 0
+}
+
+// txItem is one queued payload with its retransmission count.
+type txItem struct {
+	payload    []byte
+	retries    int
+	enqueuedAt sim.Time
+}
+
+// Send implements Mac.
+func (m *NodeMac) Send(payload []byte) bool {
+	if len(m.queue) >= m.cfg.TxQueueCap {
+		m.stats.QueueDrops++
+		return false
+	}
+	m.queue = append(m.queue, txItem{payload: payload, enqueuedAt: m.k.Now()})
+	m.tryLoad()
+	return true
+}
+
+// --- protocol timing helpers -------------------------------------------
+
+// slotDuration reports the data-slot length under the current cycle.
+func (m *NodeMac) slotDuration() sim.Time {
+	if m.cfg.Variant == Dynamic {
+		return m.cfg.Profile.MAC.DynamicSlotDuration
+	}
+	return m.cycle / sim.Time(m.cfg.Profile.MAC.MaxStaticSlots+1)
+}
+
+// slotStart reports the offset of slot i from the beacon air start. Slot
+// 0 begins after the SB (static) / SB+ES (dynamic) control region, which
+// both variants size as one slot.
+func (m *NodeMac) slotStart(i int) sim.Time {
+	return m.slotDuration() * sim.Time(i+1)
+}
+
+// guard reports the variant's beacon guard margin.
+func (m *NodeMac) guard() sim.Time {
+	if m.cfg.Variant == Dynamic {
+		return m.cfg.Profile.MAC.DynamicGuard
+	}
+	return m.cfg.Profile.MAC.StaticGuard
+}
+
+// local converts an interval the node times with its own oscillator into
+// the true elapsed simulation time, applying the clock drift.
+func (m *NodeMac) local(d sim.Time) sim.Time {
+	if m.cfg.ClockDriftPPM == 0 {
+		return d
+	}
+	return sim.Time(float64(d) * (1 + m.cfg.ClockDriftPPM*1e-6))
+}
+
+// parseCycles reports the variant's beacon-parse cost.
+func (m *NodeMac) parseCycles() int64 {
+	if m.cfg.Variant == Dynamic {
+		return m.cfg.Profile.Cost.BeaconParseDynamic
+	}
+	return m.cfg.Profile.Cost.BeaconParseStatic
+}
+
+// maxBeaconPayload bounds the beacon size for window-timeout sizing.
+func (m *NodeMac) maxBeaconPayload() int {
+	if m.cfg.Variant == Dynamic {
+		return m.cfg.Profile.MAC.BeaconBasePayloadBytes +
+			m.cfg.Profile.MAC.SlotEntryBytes*m.cfg.Profile.MAC.MaxDynamicSlots
+	}
+	return m.cfg.Profile.MAC.BeaconBasePayloadBytes +
+		m.cfg.Profile.MAC.GrantEntryBytes*2
+}
+
+// --- frame dispatch ------------------------------------------------------
+
+func (m *NodeMac) onFrame(f packet.Frame) {
+	switch {
+	case f.Dest == m.cfg.Plan.Beacon:
+		if b, err := packet.UnmarshalBeacon(f.Payload); err == nil {
+			m.handleBeacon(b, len(f.Payload))
+		}
+	case f.Dest == m.cfg.Plan.NodeAddr(m.cfg.NodeID) && packet.IsAck(f.Payload):
+		m.handleAck()
+	}
+}
+
+// handleBeacon runs (in interrupt context) after the beacon's FIFO drain.
+func (m *NodeMac) handleBeacon(b packet.Beacon, payloadLen int) {
+	now := m.k.Now()
+	frameEnd := m.radio.LastRxFrameEnd()
+	airStart := frameEnd - m.cfg.Profile.Radio.Airtime(payloadLen)
+
+	// Close the listen window.
+	m.radio.PowerDown()
+	if m.windowActive {
+		m.k.Cancel(m.windowTimeout)
+		m.windowActive = false
+		m.accountControlRx(now - m.windowOpenAt)
+	} else if m.state == stateSearching {
+		// The whole continuous search listen is idle listening except
+		// the beacon frame itself.
+		idle := now - m.joinListenAt
+		m.joinIdleTime += idle
+		m.ledger.AttributeLoss(energy.LossIdleListening,
+			m.radio.RxPowerW()*idle.Seconds())
+	}
+
+	m.stats.BeaconsHeard++
+	m.missed = 0
+	m.t0 = airStart
+	m.cycle = sim.Time(b.CycleMicros) * sim.Microsecond
+	if m.cycle <= 0 {
+		return // malformed beacon; wait for the next one
+	}
+	m.tracer.Recordf(now, m.name, trace.KindBeaconRx, "seq=%d cycle=%v", b.Seq, m.cycle)
+
+	if m.state == stateSearching {
+		m.state = stateRequesting
+	}
+
+	// Grant / slot-table scan.
+	found := false
+	for _, e := range b.Entries {
+		if e.NodeID == m.cfg.NodeID {
+			found = true
+			if m.state != stateJoined {
+				m.slot = int(e.Slot)
+				m.state = stateJoined
+				m.ssrScheduled = false
+				m.tracer.Recordf(now, m.name, trace.KindJoined, "slot=%d", m.slot)
+				if m.onJoined != nil {
+					m.onJoined()
+				}
+			} else {
+				m.slot = int(e.Slot)
+			}
+			break
+		}
+	}
+	if m.cfg.Variant == Dynamic && m.state == stateJoined && !found {
+		// The base station no longer lists us: rejoin.
+		m.rejoin()
+		return
+	}
+
+	// The beacon-parse task models the per-cycle OS/MAC work; follow-up
+	// actions run when it completes.
+	m.sched.Interrupt("beacon-parse", m.parseCycles(), func() {
+		m.afterBeacon()
+	})
+}
+
+// afterBeacon schedules this cycle's activity once parsing is done.
+func (m *NodeMac) afterBeacon() {
+	m.scheduleNextWindow()
+	switch m.state {
+	case stateRequesting:
+		m.scheduleSSR()
+	case stateJoined:
+		m.tryLoad()
+		m.scheduleSlotFire()
+	}
+}
+
+// scheduleNextWindow arms the receiver for the next expected beacon.
+func (m *NodeMac) scheduleNextWindow() {
+	p := m.cfg.Profile
+	openAt := m.t0 + m.local(m.cycle-m.guard()-p.Radio.RxSettle)
+	now := m.k.Now()
+	if openAt <= now {
+		openAt = now // degenerate cycles: open immediately
+	}
+	m.k.ScheduleAt(openAt, func(*sim.Kernel) {
+		if m.windowActive || m.state == stateSearching {
+			return
+		}
+		m.windowActive = true
+		m.windowOpenAt = m.k.Now()
+		m.radio.SetRxAddresses(m.cfg.Plan.Beacon)
+		m.radio.StartRx()
+		// The timeout sits one guard past the locally-expected beacon so
+		// the tolerance to clock error is symmetric: ±guard/cycle for
+		// early and late clocks alike. A saturated MCU can delay the
+		// whole pipeline past the nominal deadline; clamp so the window
+		// closes immediately instead of scheduling into the past.
+		deadline := m.t0 + m.local(m.cycle) + m.guard() +
+			p.Radio.Airtime(m.maxBeaconPayload()) +
+			p.Radio.RxClockOut(m.maxBeaconPayload()) + 500*sim.Microsecond
+		if deadline < m.k.Now() {
+			deadline = m.k.Now()
+		}
+		m.windowTimeout = m.k.ScheduleAt(deadline, func(*sim.Kernel) { m.onWindowTimeout() })
+	})
+}
+
+// onWindowTimeout handles a silent beacon window.
+func (m *NodeMac) onWindowTimeout() {
+	if !m.windowActive {
+		return
+	}
+	m.windowActive = false
+	m.radio.PowerDown()
+	m.accountControlRx(m.k.Now() - m.windowOpenAt)
+	m.stats.BeaconsMissed++
+	m.missed++
+	if m.missed >= missedBeaconRejoinThreshold {
+		m.rejoin()
+		return
+	}
+	// Dead-reckon the next cycle from the last good reference; drift
+	// compounds here, one silent cycle at a time.
+	m.t0 += m.local(m.cycle)
+	m.scheduleNextWindow()
+}
+
+// rejoin abandons the slot and restarts the join procedure.
+func (m *NodeMac) rejoin() {
+	m.stats.Rejoins++
+	m.state = stateSearching
+	m.slot = -1
+	m.missed = 0
+	m.loaded = false
+	m.inFlight = nil
+	m.ssrScheduled = false
+	m.radio.SetRxAddresses(m.cfg.Plan.Beacon)
+	m.radio.StartRx()
+	m.joinListenAt = m.k.Now()
+}
+
+// --- join: slot request --------------------------------------------------
+
+// scheduleSSR transmits a slot request at a random offset inside the
+// variant's request region of the current cycle.
+func (m *NodeMac) scheduleSSR() {
+	if m.ssrScheduled {
+		return
+	}
+	p := m.cfg.Profile
+	ssrAir := p.Radio.Airtime(packet.SSRBytes)
+	loadLead := p.Radio.TxClockIn(p.Radio.AddressBytes+packet.SSRBytes) +
+		p.MCU.CyclesToTime(p.Cost.SSRPrep) + 100*sim.Microsecond
+
+	// The whole SSR operation (prep, load, settle, burst) must finish
+	// before the next beacon listen window opens.
+	windowOpen := m.cycle - m.guard() - p.Radio.RxSettle
+	var lo, hi sim.Time
+	if m.cfg.Variant == Dynamic {
+		// Random offset within the empty slot (ES), after the beacon.
+		lo = 2 * sim.Millisecond
+		hi = p.MAC.DynamicSlotDuration - ssrAir - p.Radio.TxSettle - 500*sim.Microsecond
+	} else {
+		// Static: anywhere in the receive region after the SB slot.
+		lo = m.slotDuration()
+		hi = windowOpen - ssrAir - p.Radio.TxSettle - 300*sim.Microsecond
+	}
+	if hi > windowOpen-ssrAir-p.Radio.TxSettle-300*sim.Microsecond {
+		hi = windowOpen - ssrAir - p.Radio.TxSettle - 300*sim.Microsecond
+	}
+	if hi <= lo {
+		return // degenerate geometry; try next cycle
+	}
+	// The transmit must start after preparation completes.
+	earliest := m.k.Now() - m.t0 + loadLead
+	if earliest > lo {
+		lo = earliest
+	}
+	if hi <= lo {
+		return
+	}
+	off := lo + sim.Time(m.k.Rand().Int63n(int64(hi-lo)))
+	fireAt := m.t0 + m.local(off)
+	prepAt := fireAt - loadLead
+	if prepAt <= m.k.Now() {
+		// A fast local clock compresses the offset below the preparation
+		// lead; skip this cycle and request on the next beacon.
+		return
+	}
+	m.ssrScheduled = true
+	loadedSSR := false
+	m.k.ScheduleAt(prepAt, func(*sim.Kernel) {
+		if m.state != stateRequesting || m.radio.Mode() == radio.ModeRx {
+			m.ssrScheduled = false
+			return
+		}
+		m.ssrNonce++
+		ssr := packet.SSR{NodeID: m.cfg.NodeID, Nonce: m.ssrNonce}
+		m.sched.Interrupt("ssr-prep", p.Cost.SSRPrep, func() {
+			if m.radio.Mode() == radio.ModeRx {
+				m.ssrScheduled = false
+				return
+			}
+			m.radio.Load(m.cfg.Plan.BSCtrl, ssr.Marshal(), func() { loadedSSR = true })
+		})
+	})
+	m.k.ScheduleAt(fireAt, func(*sim.Kernel) {
+		if m.state != stateRequesting || !loadedSSR || m.radio.Mode() == radio.ModeRx {
+			m.ssrScheduled = false
+			return
+		}
+		m.radio.Fire(func() {
+			m.stats.SSRSent++
+			m.ssrScheduled = false
+			txDur := p.Radio.TxSettle + ssrAir
+			m.controlTxTime += txDur
+			m.ledger.AttributeLoss(energy.LossControl, m.radio.TxPowerW()*txDur.Seconds())
+			m.tracer.Recordf(m.k.Now(), m.name, trace.KindSSRTx, "nonce=%d", m.ssrNonce)
+			m.radio.PowerDown()
+		})
+	})
+}
+
+// --- steady state: data path ---------------------------------------------
+
+// tryLoad moves the head-of-queue payload into the TX FIFO when the radio
+// is free and the next beacon window is far enough away.
+func (m *NodeMac) tryLoad() {
+	if m.state != stateJoined || m.loading || m.loaded || m.ackWaiting || len(m.queue) == 0 {
+		return
+	}
+	if m.radio.Mode() == radio.ModeRx || m.radio.Mode() == radio.ModeTx {
+		return
+	}
+	p := m.cfg.Profile
+	item := m.queue[0]
+	loadDur := p.Radio.TxClockIn(p.Radio.AddressBytes + len(item.payload))
+	margin := 500 * sim.Microsecond
+	nextWindow := m.t0 + m.local(m.cycle-m.guard()-p.Radio.RxSettle)
+	if m.k.Now()+loadDur+margin >= nextWindow && m.cycle > 0 {
+		return // too close to the beacon window; retry after the beacon
+	}
+	m.queue = m.queue[1:]
+	m.inFlight = &item
+	m.loading = true
+	m.radio.Load(m.cfg.Plan.BSData, item.payload, func() {
+		m.loading = false
+		m.loaded = true
+		m.radio.PowerDown() // FIFO retains the frame; sleep until the slot
+	})
+}
+
+// scheduleSlotFire arms this cycle's transmission at the slot boundary.
+func (m *NodeMac) scheduleSlotFire() {
+	fireAt := m.t0 + m.local(m.slotStart(m.slot))
+	if fireAt <= m.k.Now() {
+		return // our slot already passed this cycle
+	}
+	m.k.ScheduleAt(fireAt, func(*sim.Kernel) { m.fireSlot() })
+}
+
+// fireSlot transmits the loaded frame at the slot boundary and opens the
+// acknowledgement window.
+func (m *NodeMac) fireSlot() {
+	if m.state != stateJoined || !m.loaded {
+		return
+	}
+	if m.radio.Mode() == radio.ModeRx {
+		return // window overlap guard; skip this cycle
+	}
+	m.loaded = false
+	m.tracer.Recordf(m.k.Now(), m.name, trace.KindSlotStart, "slot=%d", m.slot)
+	if m.inFlight != nil {
+		lat := m.k.Now() - m.inFlight.enqueuedAt
+		m.stats.LatencySum += lat
+		m.stats.LatencyCount++
+		if lat > m.stats.LatencyMax {
+			m.stats.LatencyMax = lat
+		}
+	}
+	m.radio.Fire(func() {
+		if m.inFlight == nil {
+			panic(fmt.Sprintf("mac %s: fire done with nil inFlight: state=%v stats=%+v", m.name, m.state, m.stats))
+		}
+		m.stats.DataSent++
+		m.tracer.Recordf(m.k.Now(), m.name, trace.KindDataTx, "len=%d", len(m.inFlight.payload))
+		m.openAckWindow()
+	})
+}
+
+// openAckWindow listens for the base station's acknowledgement.
+func (m *NodeMac) openAckWindow() {
+	p := m.cfg.Profile
+	m.ackWaiting = true
+	m.ackOpenAt = m.k.Now()
+	m.radio.SetRxAddresses(m.cfg.Plan.NodeAddr(m.cfg.NodeID))
+	m.radio.StartRx()
+	m.ackTimeout = m.k.Schedule(p.MAC.AckTimeout, func(*sim.Kernel) { m.onAckTimeout() })
+}
+
+// handleAck closes the acknowledgement window on success.
+func (m *NodeMac) handleAck() {
+	if !m.ackWaiting {
+		return
+	}
+	m.ackWaiting = false
+	m.k.Cancel(m.ackTimeout)
+	m.radio.PowerDown()
+	m.accountControlRx(m.k.Now() - m.ackOpenAt)
+	m.stats.DataAcked++
+	m.inFlight = nil
+	m.tracer.Record(m.k.Now(), m.name, trace.KindAckRx, "")
+	m.sched.Interrupt("ack-process", m.cfg.Profile.Cost.AckProcess, func() {
+		m.tryLoad()
+	})
+}
+
+// onAckTimeout treats the frame as lost: its transmit energy was wasted
+// (the paper's collision loss) and the frame is retried or dropped.
+func (m *NodeMac) onAckTimeout() {
+	if !m.ackWaiting {
+		return
+	}
+	m.ackWaiting = false
+	m.radio.PowerDown()
+	m.accountControlRx(m.k.Now() - m.ackOpenAt)
+	m.stats.AckMissed++
+	m.tracer.Record(m.k.Now(), m.name, trace.KindAckMissed, "")
+
+	p := m.cfg.Profile
+	if m.inFlight != nil {
+		txDur := p.Radio.TxSettle + p.Radio.Airtime(len(m.inFlight.payload))
+		m.ledger.AttributeLoss(energy.LossCollision, m.radio.TxPowerW()*txDur.Seconds())
+		if m.inFlight.retries < m.cfg.MaxRetries {
+			// Requeue at the front; tryLoad applies its window-margin
+			// checks before touching the radio again.
+			m.inFlight.retries++
+			m.stats.Retries++
+			m.queue = append([]txItem{*m.inFlight}, m.queue...)
+		}
+	}
+	m.inFlight = nil
+	m.tryLoad()
+}
+
+// accountControlRx charges a closed receive window to the control
+// overhead loss category.
+func (m *NodeMac) accountControlRx(d sim.Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("mac %s: negative control window", m.name))
+	}
+	m.controlRxTime += d
+	m.ledger.AttributeLoss(energy.LossControl, m.radio.RxPowerW()*d.Seconds())
+}
+
+var _ Mac = (*NodeMac)(nil)

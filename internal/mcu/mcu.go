@@ -1,0 +1,151 @@
+// Package mcu models the TI MSP430F149 microcontroller of the sensor
+// node: a single in-order execution resource with per-state power draw.
+//
+// Following the paper's §4.1, the microcontroller is not simulated at the
+// instruction level (that would blow up simulation time); instead each
+// OS/application activity carries a calibrated cycle count and the MCU is
+// a serialising executor that integrates E = I·Vdd·t over its active /
+// power-save residency. Execution requests are serviced strictly in
+// arrival order (run-to-completion, like the TinyOS task model layered on
+// top of it), and the MCU drops into the scheduler-selected low-power
+// mode whenever the work queue drains.
+package mcu
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// MCU is the microcontroller model. Not safe for concurrent use: it lives
+// on the simulation goroutine.
+type MCU struct {
+	k      *sim.Kernel
+	params platform.MCUParams
+	meter  *energy.Meter
+
+	busyUntil  sim.Time
+	sleeping   bool
+	sleepState energy.State
+
+	execs      uint64
+	cyclesRun  int64
+	activeTime sim.Time
+}
+
+// New creates an MCU, registers its energy meter on the ledger and starts
+// it in the power-save state at the kernel's current instant.
+func New(k *sim.Kernel, params platform.MCUParams, ledger *energy.Ledger) *MCU {
+	v := params.VoltageV
+	meter := energy.NewMeter(platform.ComponentMCU, map[energy.State]energy.Draw{
+		platform.StateMCUActive:    {CurrentA: params.ActiveA, VoltageV: v},
+		platform.StateMCUPowerSave: {CurrentA: params.PowerSaveA, VoltageV: v},
+		platform.StateMCULPM1:      {CurrentA: params.DeepModesA[0], VoltageV: v},
+		platform.StateMCULPM2:      {CurrentA: params.DeepModesA[1], VoltageV: v},
+		platform.StateMCULPM3:      {CurrentA: params.DeepModesA[2], VoltageV: v},
+		platform.StateMCULPM4:      {CurrentA: params.DeepModesA[3], VoltageV: v},
+	})
+	ledger.Register(meter)
+	meter.Start(k.Now(), platform.StateMCUPowerSave)
+	return &MCU{
+		k:          k,
+		params:     params,
+		meter:      meter,
+		busyUntil:  k.Now(),
+		sleeping:   true,
+		sleepState: platform.StateMCUPowerSave,
+	}
+}
+
+// Params reports the electrical parameters the MCU was built with.
+func (m *MCU) Params() platform.MCUParams { return m.params }
+
+// SetSleepState selects which low-power mode the MCU enters when idle.
+// This is the hook the TinyOS power policy uses; the paper's workloads
+// always select the first power-save mode.
+func (m *MCU) SetSleepState(s energy.State) {
+	switch s {
+	case platform.StateMCUPowerSave, platform.StateMCULPM1,
+		platform.StateMCULPM2, platform.StateMCULPM3, platform.StateMCULPM4:
+	default:
+		panic(fmt.Sprintf("mcu: %q is not a sleep state", s))
+	}
+	m.sleepState = s
+	if m.sleeping {
+		m.meter.Transition(m.k.Now(), s)
+	}
+}
+
+// Busy reports whether the MCU is currently executing (or has queued
+// work).
+func (m *MCU) Busy() bool { return m.k.Now() < m.busyUntil }
+
+// Execs reports how many execution requests have been issued.
+func (m *MCU) Execs() uint64 { return m.execs }
+
+// CyclesRun reports the total instruction cycles executed.
+func (m *MCU) CyclesRun() int64 { return m.cyclesRun }
+
+// ActiveTime reports the cumulative time spent in the active state.
+func (m *MCU) ActiveTime() sim.Time { return m.activeTime }
+
+// ResetAccounting zeroes the MCU's execution counters (not its meter;
+// reset that through the ledger).
+func (m *MCU) ResetAccounting() {
+	m.execs = 0
+	m.cyclesRun = 0
+	m.activeTime = 0
+}
+
+// Exec queues cycles of computation. The work starts immediately if the
+// MCU is idle (after the wakeup ramp if it was sleeping) or after all
+// previously queued work otherwise; done (if non-nil) runs at completion,
+// on the simulation goroutine. Exec returns the completion instant.
+func (m *MCU) Exec(cycles int64, done func()) sim.Time {
+	return m.execFor(m.params.CyclesToTime(cycles), cycles, done)
+}
+
+// ExecDur queues computation lasting an explicit wall duration, used for
+// timed programmed-I/O loops such as the ShockBurst FIFO clock-in where
+// the bus rate, not the instruction count, sets the pace.
+func (m *MCU) ExecDur(d sim.Time, done func()) sim.Time {
+	if d < 0 {
+		panic("mcu: negative duration")
+	}
+	cycles := int64(float64(d) / float64(sim.Second) * m.params.ClockHz)
+	return m.execFor(d, cycles, done)
+}
+
+func (m *MCU) execFor(dur sim.Time, cycles int64, done func()) sim.Time {
+	now := m.k.Now()
+	m.execs++
+	m.cyclesRun += cycles
+
+	start := now
+	if m.busyUntil > now {
+		start = m.busyUntil
+	} else if m.sleeping {
+		// Waking from a low-power mode costs the stand-by→active ramp;
+		// the core draws active current during the ramp.
+		dur += m.params.WakeupLatency
+		m.sleeping = false
+		m.meter.Transition(now, platform.StateMCUActive)
+	}
+	end := start + dur
+	m.busyUntil = end
+	m.activeTime += dur
+
+	m.k.ScheduleAt(end, func(*sim.Kernel) {
+		if done != nil {
+			done()
+		}
+		// Sleep only if the completion callback queued nothing further.
+		if m.busyUntil == end && !m.sleeping {
+			m.sleeping = true
+			m.meter.Transition(end, m.sleepState)
+		}
+	})
+	return end
+}

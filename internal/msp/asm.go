@@ -1,0 +1,297 @@
+package msp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates assembly text into a Program. The syntax is one
+// instruction per line:
+//
+//	; comment
+//	label:
+//	    ldi  r1, 42        ; immediate load
+//	    add  r2, r1, r0    ; r2 = r1 + r0
+//	    shl  r3, r2, 4     ; r3 = r2 << 4
+//	    ld   r4, [r2+8]    ; r4 = mem[r2+8]
+//	    st   r4, [r2+0]
+//	    beq  r1, r0, done  ; branch to label
+//	    call subroutine
+//	    ret
+//	done:
+//	    halt
+//
+// Labels resolve to instruction indices; branch/jump/call targets may be
+// labels or absolute indices.
+func Assemble(name, src string) (*Program, error) {
+	type pending struct {
+		instr int
+		label string
+		line  int
+	}
+	p := &Program{Name: name, Labels: map[string]int{}}
+	var fixups []pending
+
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				return nil, fmt.Errorf("%s:%d: bad label %q", name, lineNo+1, label)
+			}
+			if _, dup := p.Labels[label]; dup {
+				return nil, fmt.Errorf("%s:%d: duplicate label %q", name, lineNo+1, label)
+			}
+			p.Labels[label] = len(p.Code)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		instr, labelRef, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", name, lineNo+1, err)
+		}
+		if labelRef != "" {
+			fixups = append(fixups, pending{instr: len(p.Code), label: labelRef, line: lineNo + 1})
+		}
+		p.Code = append(p.Code, instr)
+	}
+
+	for _, f := range fixups {
+		target, ok := p.Labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("%s:%d: undefined label %q", name, f.line, f.label)
+		}
+		p.Code[f.instr].Imm = int32(target)
+	}
+	if len(p.Code) == 0 {
+		return nil, fmt.Errorf("%s: empty program", name)
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error; for the built-in
+// programs whose sources are compile-time constants.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseInstr decodes one instruction line, returning an unresolved label
+// reference when the target operand is symbolic.
+func parseInstr(line string) (Instr, string, error) {
+	fields := strings.Fields(line)
+	mnemonic := strings.ToLower(fields[0])
+	rest := strings.TrimSpace(line[len(fields[0]):])
+	var args []string
+	if rest != "" {
+		for _, a := range strings.Split(rest, ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+
+	var op Op
+	found := false
+	for o, n := range opNames {
+		if n == mnemonic {
+			op, found = o, true
+			break
+		}
+	}
+	if !found {
+		return Instr{}, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+
+	in := Instr{Op: op}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", mnemonic, n, len(args))
+		}
+		return nil
+	}
+
+	switch op {
+	case OpLDI:
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return in, "", err
+		}
+		v, err := strconv.ParseInt(args[1], 0, 32)
+		if err != nil {
+			return in, "", fmt.Errorf("bad immediate %q", args[1])
+		}
+		in.A, in.Imm = r, int32(v)
+	case OpMOV:
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		a, err := parseReg(args[0])
+		if err != nil {
+			return in, "", err
+		}
+		b, err := parseReg(args[1])
+		if err != nil {
+			return in, "", err
+		}
+		in.A, in.B = a, b
+	case OpADD, OpSUB, OpMUL, OpDIV, OpAND, OpOR, OpXOR:
+		if err := need(3); err != nil {
+			return in, "", err
+		}
+		a, err := parseReg(args[0])
+		if err != nil {
+			return in, "", err
+		}
+		b, err := parseReg(args[1])
+		if err != nil {
+			return in, "", err
+		}
+		c, err := parseReg(args[2])
+		if err != nil {
+			return in, "", err
+		}
+		in.A, in.B, in.C = a, b, c
+	case OpSHL, OpSHR:
+		if err := need(3); err != nil {
+			return in, "", err
+		}
+		a, err := parseReg(args[0])
+		if err != nil {
+			return in, "", err
+		}
+		b, err := parseReg(args[1])
+		if err != nil {
+			return in, "", err
+		}
+		v, err := strconv.ParseInt(args[2], 0, 32)
+		if err != nil {
+			return in, "", fmt.Errorf("bad shift amount %q", args[2])
+		}
+		in.A, in.B, in.Imm = a, b, int32(v)
+	case OpLD, OpST:
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		a, err := parseReg(args[0])
+		if err != nil {
+			return in, "", err
+		}
+		b, off, err := parseMem(args[1])
+		if err != nil {
+			return in, "", err
+		}
+		in.A, in.B, in.Imm = a, b, off
+	case OpJMP, OpCALL:
+		if err := need(1); err != nil {
+			return in, "", err
+		}
+		if isIdent(args[0]) {
+			return in, args[0], nil
+		}
+		v, err := strconv.ParseInt(args[0], 0, 32)
+		if err != nil {
+			return in, "", fmt.Errorf("bad target %q", args[0])
+		}
+		in.Imm = int32(v)
+	case OpBEQ, OpBNE, OpBLT, OpBGE:
+		if err := need(3); err != nil {
+			return in, "", err
+		}
+		a, err := parseReg(args[0])
+		if err != nil {
+			return in, "", err
+		}
+		b, err := parseReg(args[1])
+		if err != nil {
+			return in, "", err
+		}
+		in.A, in.B = a, b
+		if isIdent(args[2]) {
+			return in, args[2], nil
+		}
+		v, err := strconv.ParseInt(args[2], 0, 32)
+		if err != nil {
+			return in, "", fmt.Errorf("bad branch target %q", args[2])
+		}
+		in.Imm = int32(v)
+	case OpRET, OpHALT:
+		if err := need(0); err != nil {
+			return in, "", err
+		}
+	}
+	return in, "", nil
+}
+
+func parseReg(s string) (uint8, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+// parseMem decodes "[rB+off]" or "[rB]".
+func parseMem(s string) (uint8, int32, error) {
+	if len(s) < 4 || s[0] != '[' || s[len(s)-1] != ']' {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	base := inner
+	off := int64(0)
+	if i := strings.IndexAny(inner, "+-"); i > 0 {
+		base = inner[:i]
+		var err error
+		off, err = strconv.ParseInt(inner[i:], 0, 32)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad offset in %q", s)
+		}
+	}
+	r, err := parseReg(strings.TrimSpace(base))
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, int32(off), nil
+}

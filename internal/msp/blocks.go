@@ -1,0 +1,95 @@
+package msp
+
+import "sort"
+
+// Leaders computes the basic-block leaders of a program: instruction 0,
+// every branch/jump/call target, and every instruction following a
+// control transfer. A basic block runs from its leader up to (not
+// including) the next leader or past a control transfer.
+func Leaders(p *Program) map[int]bool {
+	leaders := map[int]bool{0: true}
+	for i, in := range p.Code {
+		switch in.Op {
+		case OpJMP, OpBEQ, OpBNE, OpBLT, OpBGE, OpCALL:
+			t := int(in.Imm)
+			if t >= 0 && t < len(p.Code) {
+				leaders[t] = true
+			}
+			if i+1 < len(p.Code) {
+				leaders[i+1] = true
+			}
+		case OpRET, OpHALT:
+			if i+1 < len(p.Code) {
+				leaders[i+1] = true
+			}
+		}
+	}
+	return leaders
+}
+
+// Block is one basic block with its static cycle cost.
+type Block struct {
+	Leader int
+	End    int // exclusive
+	Cycles int64
+}
+
+// Blocks decomposes the program into basic blocks, sorted by leader, and
+// prices each from the instruction cycle table — the per-block costs
+// PowerTOSSIM extracts from the compiled binary.
+func Blocks(p *Program) []Block {
+	leaders := Leaders(p)
+	starts := make([]int, 0, len(leaders))
+	for l := range leaders {
+		starts = append(starts, l)
+	}
+	sort.Ints(starts)
+	blocks := make([]Block, 0, len(starts))
+	for i, start := range starts {
+		end := len(p.Code)
+		if i+1 < len(starts) {
+			end = starts[i+1]
+		}
+		var cycles int64
+		for _, in := range p.Code[start:end] {
+			cycles += in.Op.Cycles()
+		}
+		blocks = append(blocks, Block{Leader: start, End: end, Cycles: cycles})
+	}
+	return blocks
+}
+
+// EstimateCycles applies the PowerTOSSIM formula: the sum over basic
+// blocks of execution count x static block cost. Fed with the counts
+// from an instrumented run, it reconstructs the exact cycle total — the
+// technique's accuracy hinges entirely on the counts and the per-block
+// costs matching the binary that actually ran, which is exactly where
+// the paper reports PowerTOSSIM loses accuracy on real deployments
+// (the source-block to binary mapping drifts under compiler
+// optimisation).
+func EstimateCycles(p *Program, counts map[int]int64) int64 {
+	var total int64
+	for _, b := range Blocks(p) {
+		total += counts[b.Leader] * b.Cycles
+	}
+	return total
+}
+
+// MisestimateWithDrift prices each block with a multiplicative cost error
+// (e.g. 0.1 = each block's compiled cost guessed 10% wrong,
+// alternating sign per block) and returns the degraded estimate. It
+// models the source-to-binary mapping slippage discussed above, for the
+// ablation benchmarks.
+func MisestimateWithDrift(p *Program, counts map[int]int64, frac float64) int64 {
+	var total int64
+	for i, b := range Blocks(p) {
+		cost := float64(b.Cycles)
+		if i%2 == 0 {
+			cost *= 1 + frac
+		} else {
+			cost *= 1 - frac
+		}
+		total += int64(float64(counts[b.Leader]) * cost)
+	}
+	return total
+}

@@ -1,0 +1,34 @@
+package msp_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/msp"
+)
+
+// ExampleAssemble shows the PowerTOSSIM pipeline on a three-iteration
+// loop: assemble, run for exact cycles, and reconstruct the total from
+// basic-block counts x static block costs.
+func ExampleAssemble() {
+	prog, err := msp.Assemble("countdown", `
+        ldi r1, 3
+loop:   ldi r2, 1
+        sub r1, r1, r2
+        bne r1, r0, loop
+        halt
+    `)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm := msp.NewVM(prog)
+	exact, err := vm.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	estimate := msp.EstimateCycles(prog, vm.BlockCounts())
+	fmt.Printf("blocks: %d, exact cycles: %d, block estimate: %d\n",
+		len(msp.Blocks(prog)), exact, estimate)
+	// Output:
+	// blocks: 3, exact cycles: 14, block estimate: 14
+}

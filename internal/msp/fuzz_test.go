@@ -1,0 +1,23 @@
+package msp
+
+import "testing"
+
+// FuzzAssemble: arbitrary source text never crashes the assembler, and
+// anything it accepts runs on the VM without panicking (errors are
+// fine; the step budget bounds divergence).
+func FuzzAssemble(f *testing.F) {
+	f.Add("ldi r1, 5\nhalt")
+	f.Add(CRC16Src)
+	f.Add("loop: jmp loop")
+	f.Add("x: beq r0, r0, x")
+	f.Add("; comment only")
+	f.Add("ld r1, [r2+4]\nst r1, [r2-4]\nhalt")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		vm := NewVM(p)
+		_, _ = vm.Run() // must not panic; runtime errors are expected
+	})
+}

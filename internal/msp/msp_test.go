@@ -1,0 +1,399 @@
+package msp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func assemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func run(t *testing.T, p *Program, setup func(vm *VM)) *VM {
+	t.Helper()
+	vm := NewVM(p)
+	if setup != nil {
+		setup(vm)
+	}
+	if _, err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+func TestAssembleBasics(t *testing.T) {
+	p := assemble(t, `
+        ldi r1, 10
+loop:   ldi r2, 1
+        sub r1, r1, r2
+        bne r1, r0, loop
+        halt
+    `)
+	if len(p.Code) != 5 {
+		t.Fatalf("code length = %d, want 5", len(p.Code))
+	}
+	if p.Labels["loop"] != 1 {
+		t.Fatalf("label loop = %d, want 1", p.Labels["loop"])
+	}
+	if p.Code[3].Imm != 1 {
+		t.Fatalf("branch target not resolved: %+v", p.Code[3])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",            // unknown mnemonic
+		"ldi r9, 1\nhalt",         // bad register
+		"jmp nowhere\nhalt",       // undefined label
+		"x: ldi r0, 1\nx: halt",   // duplicate label
+		"ldi r1\nhalt",            // operand count
+		"ld r1, r2\nhalt",         // bad memory operand
+		"",                        // empty program
+		"ldi r1, zzz\nhalt",       // bad immediate
+		"beq r1, r2\nhalt",        // missing target
+		"1abel: halt",             // bad label
+		"shl r1, r2, r3ish\nhalt", // bad shift amount
+	}
+	for i, src := range cases {
+		if _, err := Assemble("bad", src); err == nil {
+			t.Errorf("case %d assembled successfully", i)
+		}
+	}
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	vm := run(t, assemble(t, `
+        ldi r1, 7
+        ldi r2, 3
+        add r3, r1, r2     ; 10
+        sub r4, r1, r2     ; 4
+        mul r5, r1, r2     ; 21
+        div r6, r1, r2     ; 2
+        halt
+    `), nil)
+	want := map[int]int32{3: 10, 4: 4, 5: 21, 6: 2}
+	for r, v := range want {
+		if vm.Regs[r] != v {
+			t.Errorf("r%d = %d, want %d", r, vm.Regs[r], v)
+		}
+	}
+}
+
+func TestDivByZeroYieldsZero(t *testing.T) {
+	vm := run(t, assemble(t, `
+        ldi r1, 5
+        div r2, r1, r0
+        halt
+    `), nil)
+	if vm.Regs[2] != 0 {
+		t.Fatalf("div by zero = %d, want 0", vm.Regs[2])
+	}
+}
+
+func TestShiftsAndBitOps(t *testing.T) {
+	vm := run(t, assemble(t, `
+        ldi r1, 0xF0
+        shl r2, r1, 4      ; 0xF00
+        shr r3, r1, 4      ; 0x0F
+        ldi r4, 0x0FF
+        and r5, r2, r4     ; 0
+        or  r6, r3, r4     ; 0xFF
+        xor r7, r4, r3     ; 0xF0
+        halt
+    `), nil)
+	if vm.Regs[2] != 0xF00 || vm.Regs[3] != 0x0F || vm.Regs[5] != 0 ||
+		vm.Regs[6] != 0xFF || vm.Regs[7] != 0xF0 {
+		t.Fatalf("bit ops wrong: %v", vm.Regs)
+	}
+}
+
+func TestLogicalShiftRightOfNegative(t *testing.T) {
+	vm := run(t, assemble(t, `
+        ldi r1, -256
+        shr r2, r1, 8
+        halt
+    `), nil)
+	if vm.Regs[2] != int32(uint32(0xFFFFFF00)>>8) {
+		t.Fatalf("shr of negative = %d (logical shift expected)", vm.Regs[2])
+	}
+}
+
+func TestMemoryAndCalls(t *testing.T) {
+	vm := run(t, assemble(t, `
+        ldi r1, 42
+        st  r1, [r0+100]
+        call double
+        halt
+double:
+        ld  r2, [r0+100]
+        add r2, r2, r2
+        st  r2, [r0+100]
+        ret
+    `), nil)
+	if vm.Mem[100] != 84 {
+		t.Fatalf("mem[100] = %d, want 84", vm.Mem[100])
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []string{
+		"ldi r1, 99999\nld r2, [r1+0]\nhalt", // load out of range
+		"ldi r1, -5\nst r1, [r1+0]\nhalt",    // store out of range
+		"ret",                                // empty stack
+		"jmp loop\nloop: jmp loop",           // infinite loop hits step budget
+	}
+	for i, src := range cases {
+		vm := NewVM(assemble(t, src))
+		if _, err := vm.Run(); err == nil {
+			t.Errorf("case %d ran to completion", i)
+		}
+	}
+}
+
+func TestCycleAccounting(t *testing.T) {
+	vm := run(t, assemble(t, `
+        ldi r1, 1          ; 1
+        add r2, r1, r1     ; 1
+        ld  r3, [r0+0]     ; 3
+        jmp next           ; 2
+next:   halt               ; 1
+    `), nil)
+	if vm.Cycles() != 8 {
+		t.Fatalf("cycles = %d, want 8", vm.Cycles())
+	}
+	if vm.Retired() != 5 {
+		t.Fatalf("retired = %d, want 5", vm.Retired())
+	}
+}
+
+func TestLeadersAndBlocks(t *testing.T) {
+	p := assemble(t, `
+        ldi r1, 3          ; 0  block A
+loop:   ldi r2, 1          ; 1  block B (branch target)
+        sub r1, r1, r2     ; 2
+        bne r1, r0, loop   ; 3
+        halt               ; 4  block C
+    `)
+	leaders := Leaders(p)
+	for _, want := range []int{0, 1, 4} {
+		if !leaders[want] {
+			t.Errorf("instruction %d should be a leader", want)
+		}
+	}
+	blocks := Blocks(p)
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(blocks))
+	}
+	// Block B: ldi(1) + sub(1) + bne(2) = 4 cycles.
+	if blocks[1].Cycles != 4 {
+		t.Fatalf("block B cycles = %d, want 4", blocks[1].Cycles)
+	}
+}
+
+// TestPowerTOSSIMEstimatorExact: with correct per-block costs and counts,
+// the count x cost estimate reproduces the interpreter's exact cycles —
+// the best case PowerTOSSIM can achieve.
+func TestPowerTOSSIMEstimatorExact(t *testing.T) {
+	for name, p := range Programs() {
+		vm := NewVM(p)
+		setupProgram(t, name, vm)
+		exact, err := vm.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		est := EstimateCycles(p, vm.BlockCounts())
+		if est != exact {
+			t.Errorf("%s: estimate %d != exact %d", name, est, exact)
+		}
+	}
+}
+
+// TestMisestimateWithDrift shows the mapping-error failure mode the
+// paper attributes to PowerTOSSIM: per-block cost errors skew the total.
+func TestMisestimateWithDrift(t *testing.T) {
+	p := Programs()["crc16"]
+	vm := NewVM(p)
+	setupProgram(t, "crc16", vm)
+	exact, err := vm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := MisestimateWithDrift(p, vm.BlockCounts(), 0.2)
+	if skewed == exact {
+		t.Fatalf("20%% block-cost drift left the estimate unchanged")
+	}
+	ratio := float64(skewed) / float64(exact)
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Fatalf("drifted estimate implausibly far: ratio %.2f", ratio)
+	}
+}
+
+// setupProgram writes representative inputs for each built-in program.
+func setupProgram(t *testing.T, name string, vm *VM) {
+	t.Helper()
+	switch name {
+	case "crc16":
+		data := []byte{0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC}
+		vm.Mem[0] = int32(len(data))
+		for i, b := range data {
+			vm.Mem[1+i] = int32(b)
+		}
+	case "pack12":
+		vm.Mem[0] = 6 // pairs
+		for i := 0; i < 12; i++ {
+			vm.Mem[1+i] = int32((i * 331) & 0xFFF)
+		}
+	case "rpeak-step":
+		vm.Mem[0] = 2048 // one mid-scale sample
+	case "rr-stats":
+		vm.Mem[0] = 8
+		for i, rr := range []int32{800, 810, 790, 805, 795, 800, 820, 780} {
+			vm.Mem[1+i] = rr
+		}
+	case "beacon-parse":
+		// A 3-entry beacon: kind, seq(2), cycle(4), count, entries.
+		payload := []int32{0xB1, 0, 7, 0, 0, 0xEA, 0x60, 3, 2, 1, 5, 4, 9, 0}
+		copy(vm.Mem, payload)
+		vm.Mem[100] = 5
+	default:
+		t.Fatalf("no setup for program %q", name)
+	}
+}
+
+// Property: branches taken or not, block counts always reconstruct exact
+// cycles on a branchy program with arbitrary input.
+func TestQuickBlockCountReconstruction(t *testing.T) {
+	p := assemble(t, `
+        ldi r7, 0
+        ld  r1, [r7+0]     ; n
+        ldi r2, 0          ; acc
+        ldi r3, 0          ; i
+loop:   bge r3, r1, done
+        ldi r6, 1
+        and r5, r3, r6     ; odd?
+        beq r5, r7, even
+        add r2, r2, r3
+        jmp next
+even:   sub r2, r2, r3
+next:   ldi r6, 1
+        add r3, r3, r6
+        jmp loop
+done:   st  r2, [r7+50]
+        halt
+    `)
+	f := func(n uint8) bool {
+		vm := NewVM(p)
+		vm.Mem[0] = int32(n % 64)
+		exact, err := vm.Run()
+		if err != nil {
+			return false
+		}
+		return EstimateCycles(p, vm.BlockCounts()) == exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	p := assemble(t, `
+        ldi r1, 5
+        mov r2, r1
+        add r3, r1, r2
+        shl r4, r3, 2
+        ld  r5, [r0+7]
+        st  r5, [r0+9]
+        beq r1, r2, 7
+        call 7
+        ret
+        halt
+    `)
+	var b strings.Builder
+	for _, in := range p.Code {
+		b.WriteString(in.String())
+		b.WriteByte('\n')
+	}
+	out := b.String()
+	for _, want := range []string{"ldi r1, 5", "mov r2, r1", "add r3, r1, r2",
+		"shl r4, r3, 2", "ld r5, [r0+7]", "st r5, [r0+9]", "beq r1, r2, 7",
+		"call 7", "ret", "halt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// Property: every instruction's assembly rendering re-assembles to the
+// identical instruction (String and parseInstr are inverses).
+func TestQuickInstrStringRoundTrip(t *testing.T) {
+	ops := []Op{OpLDI, OpMOV, OpADD, OpSUB, OpMUL, OpDIV, OpAND, OpOR, OpXOR,
+		OpSHL, OpSHR, OpLD, OpST, OpJMP, OpBEQ, OpBNE, OpBLT, OpBGE,
+		OpCALL, OpRET, OpHALT}
+	f := func(opIdx, a, b, c uint8, imm int16) bool {
+		in := Instr{
+			Op:  ops[int(opIdx)%len(ops)],
+			A:   a % NumRegs,
+			B:   b % NumRegs,
+			C:   c % NumRegs,
+			Imm: int32(imm),
+		}
+		// Normalise fields the renderer does not carry for this op.
+		switch in.Op {
+		case OpLDI:
+			in.B, in.C = 0, 0
+		case OpMOV:
+			in.C, in.Imm = 0, 0
+		case OpADD, OpSUB, OpMUL, OpDIV, OpAND, OpOR, OpXOR:
+			in.Imm = 0
+		case OpSHL, OpSHR:
+			in.C = 0
+			if in.Imm < 0 {
+				in.Imm = -in.Imm
+			}
+		case OpLD, OpST:
+			in.C = 0
+		case OpJMP, OpCALL:
+			in.A, in.B, in.C = 0, 0, 0
+			if in.Imm < 0 {
+				in.Imm = -in.Imm
+			}
+		case OpBEQ, OpBNE, OpBLT, OpBGE:
+			in.C = 0
+			if in.Imm < 0 {
+				in.Imm = -in.Imm
+			}
+		case OpRET, OpHALT:
+			in = Instr{Op: in.Op}
+		}
+		p, err := Assemble("rt", in.String())
+		if err != nil || len(p.Code) != 1 {
+			return false
+		}
+		return p.Code[0] == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	p := Programs()["crc16"]
+	vm := NewVM(p)
+	setupProgram(t, "crc16", vm)
+	if _, err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	vm.Reset()
+	if vm.Cycles() != 0 || vm.Retired() != 0 || len(vm.BlockCounts()) != 0 {
+		t.Fatalf("reset left counters")
+	}
+	if vm.Mem[0] != 0 || vm.Regs[2] != 0 {
+		t.Fatalf("reset left data")
+	}
+}

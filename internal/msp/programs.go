@@ -1,0 +1,296 @@
+package msp
+
+// Built-in programs: the node's hot routines, written for the VM so the
+// basic-block estimator runs against real code, and so the calibrated
+// activity costs in platform.CostModel can be cross-examined against an
+// executable implementation (see programs_test.go).
+
+// CRC16Src computes CRC-16-CCITT (poly 0x1021, init 0xFFFF) over
+// mem[1..n] (one byte per word, n at mem[0]); the result lands at
+// mem[512]. This is the check the nRF2401 performs in hardware — and
+// what the microcontroller would have to do per frame on a radio
+// without ShockBurst, which is one of the paper's platform arguments.
+const CRC16Src = `
+; r0=i r1=n r2=crc r3=byte r4=bitctr r5/r6/r7=scratch
+    ldi  r0, 0
+    ld   r1, [r0+0]       ; n
+    ldi  r2, 0xFFFF       ; crc
+loop:
+    bge  r0, r1, done
+    ldi  r7, 1
+    add  r3, r0, r7
+    ld   r3, [r3+0]       ; byte i
+    shl  r3, r3, 8
+    xor  r2, r2, r3
+    ldi  r4, 8
+bitloop:
+    ldi  r7, 0
+    bge  r7, r4, bitdone
+    ldi  r6, 0x8000
+    and  r5, r2, r6
+    ldi  r7, 0
+    beq  r5, r7, noxor
+    shl  r2, r2, 1
+    ldi  r6, 0x1021
+    xor  r2, r2, r6
+    jmp  bitnext
+noxor:
+    shl  r2, r2, 1
+bitnext:
+    ldi  r6, 0xFFFF
+    and  r2, r2, r6
+    ldi  r7, 1
+    sub  r4, r4, r7
+    jmp  bitloop
+bitdone:
+    ldi  r7, 1
+    add  r0, r0, r7
+    jmp  loop
+done:
+    ldi  r7, 0
+    st   r2, [r7+512]
+    halt
+`
+
+// Pack12Src packs sample pairs into the 12-bit wire format: mem[0] holds
+// the pair count, samples at mem[1..2p], output bytes at mem[256...].
+// For each pair (s0, s1): out = [s0 & 0xFF, (s0>>8) | ((s1&0xF)<<4),
+// s1>>4] — the exact layout of codec.Pack.
+const Pack12Src = `
+; r0=pair index r1=pairs r2=src ptr r3=dst ptr r4/r5=samples r6/r7=scratch
+    ldi  r0, 0
+    ld   r1, [r0+0]
+    ldi  r2, 1            ; src
+    ldi  r3, 256          ; dst
+loop:
+    bge  r0, r1, done
+    ld   r4, [r2+0]       ; s0
+    ld   r5, [r2+1]       ; s1
+    ldi  r7, 0xFFF        ; mask to 12 bits
+    and  r4, r4, r7
+    and  r5, r5, r7
+    ldi  r7, 0xFF
+    and  r6, r4, r7       ; b0 = s0 & 0xFF
+    st   r6, [r3+0]
+    shr  r6, r4, 8        ; s0 >> 8
+    ldi  r7, 0xF
+    and  r7, r5, r7       ; s1 & 0xF
+    shl  r7, r7, 4
+    or   r6, r6, r7       ; b1
+    st   r6, [r3+1]
+    shr  r6, r5, 4        ; b2 = s1 >> 4
+    st   r6, [r3+2]
+    ldi  r7, 2
+    add  r2, r2, r7
+    ldi  r7, 3
+    add  r3, r3, r7
+    ldi  r7, 1
+    add  r0, r0, r7
+    jmp  loop
+done:
+    halt
+`
+
+// RpeakStepSrc is one call of the streaming R-peak detector on a single
+// sample: fixed-point baseline removal, adaptive threshold, peak state
+// machine — the per-sample algorithm core of §5.2. State lives in
+// memory so consecutive calls continue the detection:
+//
+//	mem[0]  input sample (0..4095)
+//	mem[1]  sample index
+//	mem[2]  baseline (fixed point <<8)
+//	mem[3]  peakEMA  (fixed point <<8)
+//	mem[4]  inPeak flag
+//	mem[5]  peakVal
+//	mem[6]  peakIdx
+//	mem[7]  lastBeat index
+//	mem[8]  OUT: 0 or the beat lag in samples
+const RpeakStepSrc = `
+; r0=base ptr(0) r1=x r2=baseline r3=v r4=thr r5/r6/r7=scratch
+    ldi  r0, 0
+    ld   r1, [r0+0]        ; x
+    shl  r1, r1, 8         ; to fixed point <<8
+    ld   r2, [r0+2]        ; baseline
+    sub  r3, r1, r2        ; x - baseline
+    ; baseline += (x - baseline) >> 8 (arithmetic shift emulated below)
+    shr  r5, r3, 8
+    ldi  r7, 0
+    bge  r3, r7, bpos      ; negative delta: logical shift needs fixing
+    ldi  r6, 0xFF
+    shl  r6, r6, 24
+    or   r5, r5, r6        ; sign-extend the top byte
+bpos:
+    add  r2, r2, r5
+    st   r2, [r0+2]
+    sub  r3, r1, r2        ; v = x - baseline (fixed point)
+    ld   r4, [r0+3]        ; peakEMA
+    shr  r4, r4, 1         ; thr = peakEMA/2
+    ld   r5, [r0+4]        ; inPeak?
+    ldi  r7, 0
+    st   r7, [r0+8]        ; default: no beat
+    beq  r5, r7, notinpeak
+; in peak: track max, confirm when v < thr/2
+    ld   r6, [r0+5]        ; peakVal
+    bge  r6, r3, nonewmax
+    st   r3, [r0+5]
+    ld   r6, [r0+1]
+    st   r6, [r0+6]        ; peakIdx = idx
+nonewmax:
+    shr  r6, r4, 1         ; thr/2
+    bge  r3, r6, finish    ; still above: keep tracking
+    ldi  r7, 0
+    st   r7, [r0+4]        ; inPeak = 0
+    ld   r6, [r0+6]        ; peakIdx
+    st   r6, [r0+7]        ; lastBeat = peakIdx
+    ld   r5, [r0+1]
+    sub  r5, r5, r6        ; lag = idx - peakIdx
+    ldi  r7, 1
+    bge  r5, r7, lagok
+    mov  r5, r7
+lagok:
+    st   r5, [r0+8]        ; OUT lag
+; peakEMA += (peakVal - peakEMA) >> 2 (arithmetic shift emulated)
+    ld   r6, [r0+5]
+    ld   r7, [r0+3]
+    sub  r6, r6, r7
+    shr  r5, r6, 2
+    ldi  r7, 0
+    bge  r6, r7, epos
+    ldi  r7, 3
+    shl  r7, r7, 30
+    or   r5, r5, r7        ; sign-extend the top two bits
+epos:
+    ld   r7, [r0+3]
+    add  r7, r7, r5
+    st   r7, [r0+3]
+    jmp  finish
+notinpeak:
+; enter peak when v > thr and idx - lastBeat > 50 (refractory, 250ms@200Hz)
+    bge  r4, r3, finish    ; v <= thr
+    ld   r5, [r0+1]
+    ld   r6, [r0+7]
+    sub  r5, r5, r6
+    ldi  r7, 50
+    bge  r7, r5, finish    ; refractory
+    ldi  r7, 1
+    st   r7, [r0+4]        ; inPeak = 1
+    st   r3, [r0+5]        ; peakVal = v
+    ld   r6, [r0+1]
+    st   r6, [r0+6]        ; peakIdx = idx
+finish:
+    ld   r5, [r0+1]        ; idx++
+    ldi  r7, 1
+    add  r5, r5, r7
+    st   r5, [r0+1]
+    halt
+`
+
+// RRStatsSrc computes the HRV window statistics over n RR intervals at
+// mem[1..n] (milliseconds), n at mem[0]: mean -> mem[600],
+// min -> mem[601], max -> mem[602], sum of squared successive
+// differences -> mem[603].
+const RRStatsSrc = `
+; r0=i r1=limit(n+1) r2=sum r3=ssq r4=prev r5=cur r6=scratch r7=zero
+    ldi  r7, 0
+    ld   r1, [r7+0]        ; n
+    ldi  r6, 1
+    add  r1, r1, r6        ; limit = n+1
+    ldi  r2, 0             ; sum
+    ldi  r3, 0             ; ssq
+    ldi  r4, -1            ; prev = none
+    ldi  r6, 0x7FFFFFF
+    st   r6, [r7+601]      ; min = +inf
+    ldi  r6, 0
+    st   r6, [r7+602]      ; max = 0
+    ldi  r0, 1
+loop:
+    bge  r0, r1, done
+    ld   r5, [r0+0]        ; cur = rr[i]
+    add  r2, r2, r5        ; sum += cur
+    ld   r6, [r7+601]
+    bge  r5, r6, notmin
+    st   r5, [r7+601]      ; min = cur
+notmin:
+    ld   r6, [r7+602]
+    bge  r6, r5, notmax
+    st   r5, [r7+602]      ; max = cur
+notmax:
+    blt  r4, r7, noprev    ; first interval: no successive difference
+    sub  r6, r5, r4
+    mul  r6, r6, r6
+    add  r3, r3, r6        ; ssq += (cur-prev)^2
+noprev:
+    mov  r4, r5
+    ldi  r6, 1
+    add  r0, r0, r6
+    jmp  loop
+done:
+    ldi  r6, 1
+    sub  r5, r1, r6        ; n
+    div  r6, r2, r5
+    st   r6, [r7+600]      ; mean
+    st   r3, [r7+603]      ; ssq
+    halt
+`
+
+// BeaconParseSrc decodes a beacon payload (one byte per word at
+// mem[0..]; the node's own ID at mem[100]): it validates the kind byte,
+// extracts the 32-bit cycle length to mem[200], scans the slot table for
+// the node's grant (slot index to mem[201], -1 if absent) and sets
+// mem[202] to 1 on success, 0 on a kind mismatch — the per-beacon work
+// at the core of the MAC's per-cycle cost budget.
+const BeaconParseSrc = `
+; r7=zero r0=entry ptr r1/r2=scratch r3=count r4=my id r5=slot r6=i
+    ldi r7, 0
+    ld  r1, [r7+0]       ; kind byte
+    ldi r2, 0xB1
+    bne r1, r2, bad
+    ld  r1, [r7+3]       ; cycle, big endian bytes 3..6
+    shl r1, r1, 8
+    ld  r2, [r7+4]
+    or  r1, r1, r2
+    shl r1, r1, 8
+    ld  r2, [r7+5]
+    or  r1, r1, r2
+    shl r1, r1, 8
+    ld  r2, [r7+6]
+    or  r1, r1, r2
+    st  r1, [r7+200]
+    ld  r3, [r7+7]       ; entry count
+    ld  r4, [r7+100]     ; my node id
+    ldi r5, -1
+    ldi r0, 8
+    ldi r6, 0
+scan:
+    bge r6, r3, done
+    ld  r1, [r0+0]
+    bne r1, r4, next
+    ld  r5, [r0+1]
+    jmp done
+next:
+    ldi r1, 2
+    add r0, r0, r1
+    ldi r1, 1
+    add r6, r6, r1
+    jmp scan
+done:
+    st  r5, [r7+201]
+    ldi r1, 1
+    st  r1, [r7+202]
+    halt
+bad:
+    ldi r1, 0
+    st  r1, [r7+202]
+    halt
+`
+
+// Programs returns the built-in program set, assembled.
+func Programs() map[string]*Program {
+	return map[string]*Program{
+		"crc16":        MustAssemble("crc16", CRC16Src),
+		"pack12":       MustAssemble("pack12", Pack12Src),
+		"rpeak-step":   MustAssemble("rpeak-step", RpeakStepSrc),
+		"rr-stats":     MustAssemble("rr-stats", RRStatsSrc),
+		"beacon-parse": MustAssemble("beacon-parse", BeaconParseSrc),
+	}
+}

@@ -1,0 +1,164 @@
+package msp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VM executes a Program with exact cycle accounting — the ground truth
+// the basic-block estimator is checked against.
+type VM struct {
+	prog *Program
+	Regs [NumRegs]int32
+	Mem  []int32
+
+	pc      int
+	stack   []int
+	cycles  int64
+	retired int64
+	// blockCounts[leader] counts executions of the basic block starting
+	// at instruction index leader.
+	blockCounts map[int]int64
+	leaders     map[int]bool
+	halted      bool
+}
+
+// DefaultMemWords is the VM's data memory size (in 32-bit words),
+// comfortably covering the MSP430F149's 2 KB RAM.
+const DefaultMemWords = 1024
+
+// maxSteps bounds runaway programs.
+const maxSteps = 2_000_000
+
+// NewVM prepares a VM over prog with zeroed registers and memory.
+func NewVM(prog *Program) *VM {
+	vm := &VM{
+		prog:        prog,
+		Mem:         make([]int32, DefaultMemWords),
+		blockCounts: make(map[int]int64),
+		leaders:     Leaders(prog),
+	}
+	return vm
+}
+
+// ErrNotHalted reports a program that exceeded the step budget.
+var ErrNotHalted = errors.New("msp: step budget exhausted")
+
+// Run executes from instruction 0 until HALT. It returns the exact cycle
+// count.
+func (vm *VM) Run() (int64, error) {
+	vm.pc = 0
+	vm.halted = false
+	for steps := 0; steps < maxSteps; steps++ {
+		if vm.pc < 0 || vm.pc >= len(vm.prog.Code) {
+			return vm.cycles, fmt.Errorf("msp: pc %d out of range", vm.pc)
+		}
+		if vm.leaders[vm.pc] {
+			vm.blockCounts[vm.pc]++
+		}
+		in := vm.prog.Code[vm.pc]
+		vm.cycles += in.Op.Cycles()
+		vm.retired++
+		next := vm.pc + 1
+		switch in.Op {
+		case OpLDI:
+			vm.Regs[in.A] = in.Imm
+		case OpMOV:
+			vm.Regs[in.A] = vm.Regs[in.B]
+		case OpADD:
+			vm.Regs[in.A] = vm.Regs[in.B] + vm.Regs[in.C]
+		case OpSUB:
+			vm.Regs[in.A] = vm.Regs[in.B] - vm.Regs[in.C]
+		case OpMUL:
+			vm.Regs[in.A] = vm.Regs[in.B] * vm.Regs[in.C]
+		case OpDIV:
+			if vm.Regs[in.C] == 0 {
+				vm.Regs[in.A] = 0
+			} else {
+				vm.Regs[in.A] = vm.Regs[in.B] / vm.Regs[in.C]
+			}
+		case OpAND:
+			vm.Regs[in.A] = vm.Regs[in.B] & vm.Regs[in.C]
+		case OpOR:
+			vm.Regs[in.A] = vm.Regs[in.B] | vm.Regs[in.C]
+		case OpXOR:
+			vm.Regs[in.A] = vm.Regs[in.B] ^ vm.Regs[in.C]
+		case OpSHL:
+			vm.Regs[in.A] = vm.Regs[in.B] << uint(in.Imm&31)
+		case OpSHR:
+			vm.Regs[in.A] = int32(uint32(vm.Regs[in.B]) >> uint(in.Imm&31))
+		case OpLD:
+			addr := int(vm.Regs[in.B]) + int(in.Imm)
+			if addr < 0 || addr >= len(vm.Mem) {
+				return vm.cycles, fmt.Errorf("msp: load out of memory at %d (pc %d)", addr, vm.pc)
+			}
+			vm.Regs[in.A] = vm.Mem[addr]
+		case OpST:
+			addr := int(vm.Regs[in.B]) + int(in.Imm)
+			if addr < 0 || addr >= len(vm.Mem) {
+				return vm.cycles, fmt.Errorf("msp: store out of memory at %d (pc %d)", addr, vm.pc)
+			}
+			vm.Mem[addr] = vm.Regs[in.A]
+		case OpJMP:
+			next = int(in.Imm)
+		case OpBEQ:
+			if vm.Regs[in.A] == vm.Regs[in.B] {
+				next = int(in.Imm)
+			}
+		case OpBNE:
+			if vm.Regs[in.A] != vm.Regs[in.B] {
+				next = int(in.Imm)
+			}
+		case OpBLT:
+			if vm.Regs[in.A] < vm.Regs[in.B] {
+				next = int(in.Imm)
+			}
+		case OpBGE:
+			if vm.Regs[in.A] >= vm.Regs[in.B] {
+				next = int(in.Imm)
+			}
+		case OpCALL:
+			vm.stack = append(vm.stack, next)
+			next = int(in.Imm)
+		case OpRET:
+			if len(vm.stack) == 0 {
+				return vm.cycles, fmt.Errorf("msp: ret with empty stack (pc %d)", vm.pc)
+			}
+			next = vm.stack[len(vm.stack)-1]
+			vm.stack = vm.stack[:len(vm.stack)-1]
+		case OpHALT:
+			vm.halted = true
+			return vm.cycles, nil
+		}
+		vm.pc = next
+	}
+	return vm.cycles, ErrNotHalted
+}
+
+// Cycles reports the cycles consumed so far.
+func (vm *VM) Cycles() int64 { return vm.cycles }
+
+// Retired reports the instructions executed.
+func (vm *VM) Retired() int64 { return vm.retired }
+
+// BlockCounts returns the per-leader execution counts gathered during
+// Run — PowerTOSSIM's instrumentation output.
+func (vm *VM) BlockCounts() map[int]int64 {
+	out := make(map[int]int64, len(vm.blockCounts))
+	for k, v := range vm.blockCounts {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset clears registers, memory and counters for a fresh run.
+func (vm *VM) Reset() {
+	vm.Regs = [NumRegs]int32{}
+	for i := range vm.Mem {
+		vm.Mem[i] = 0
+	}
+	vm.stack = nil
+	vm.cycles = 0
+	vm.retired = 0
+	vm.blockCounts = make(map[int]int64)
+}

@@ -1,0 +1,236 @@
+// Package node composes the full sensor-node stack of Figure 1 — ASIC
+// driver, radio driver, TinyOS kernel, MAC, application — and the base
+// station, wiring each hardware model to its energy meter on the node's
+// ledger.
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/asic"
+	"repro/internal/channel"
+	"repro/internal/energy"
+	"repro/internal/mac"
+	"repro/internal/mcu"
+	"repro/internal/packet"
+	"repro/internal/platform"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/tinyos"
+	"repro/internal/trace"
+)
+
+// Sensor is one wireless sensor node.
+type Sensor struct {
+	Name    string
+	ID      uint8
+	Profile platform.Profile
+
+	Ledger   *energy.Ledger
+	MCU      *mcu.MCU
+	Sched    *tinyos.Sched
+	Radio    *radio.Radio
+	Frontend *asic.Frontend
+	Mac      *mac.NodeMac
+	App      app.App
+
+	k *sim.Kernel
+}
+
+// sensorOpts collects the optional knobs of a sensor build.
+type sensorOpts struct {
+	mac  mac.NodeConfig
+	name string
+}
+
+// Option customises a sensor build.
+type Option func(*sensorOpts)
+
+// WithClockDrift gives the node's oscillator a frequency error in parts
+// per million (see mac.NodeConfig.ClockDriftPPM).
+func WithClockDrift(ppm float64) Option {
+	return func(o *sensorOpts) { o.mac.ClockDriftPPM = ppm }
+}
+
+// WithTxQueueCap overrides the MAC transmit queue depth.
+func WithTxQueueCap(n int) Option {
+	return func(o *sensorOpts) { o.mac.TxQueueCap = n }
+}
+
+// WithAddressPlan binds the node to a specific BAN address plan, for
+// multi-network coexistence studies.
+func WithAddressPlan(p packet.AddressPlan) Option {
+	return func(o *sensorOpts) { o.mac.Plan = p }
+}
+
+// WithName overrides the node's medium identifier (needed when several
+// BANs share one channel and the default "node<id>" names would clash).
+func WithName(name string) Option {
+	return func(o *sensorOpts) { o.name = name }
+}
+
+// NewSensor builds the hardware/OS/MAC stack for node id on the shared
+// medium. Attach an application with AttachApp before Start.
+func NewSensor(k *sim.Kernel, ch *channel.Channel, tracer *trace.Recorder,
+	id uint8, prof platform.Profile, variant mac.Variant, opts ...Option) *Sensor {
+	o := sensorOpts{
+		name: fmt.Sprintf("node%d", id),
+		mac: mac.NodeConfig{
+			Variant: variant,
+			NodeID:  id,
+			Profile: prof,
+		},
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	ledger := energy.NewLedger()
+	m := mcu.New(k, prof.MCU, ledger)
+	sched := tinyos.NewSched(k, m, 0)
+	r := radio.New(k, o.name, prof.Radio, ch, sched, ledger, tracer)
+	fe := asic.New(k, prof.ASIC, ledger)
+	nm := mac.NewNodeMac(k, o.mac, sched, r, ledger, tracer)
+	return &Sensor{
+		Name:     o.name,
+		ID:       id,
+		Profile:  prof,
+		Ledger:   ledger,
+		MCU:      m,
+		Sched:    sched,
+		Radio:    r,
+		Frontend: fe,
+		Mac:      nm,
+		App:      nil,
+		k:        k,
+	}
+}
+
+// Env builds the application environment over this node's facilities.
+func (s *Sensor) Env(tracer *trace.Recorder) app.Env {
+	return app.Env{
+		Sched:    s.Sched,
+		Frontend: s.Frontend,
+		Mac:      s.Mac,
+		Cost:     s.Profile.Cost,
+		Tracer:   tracer,
+		NodeName: s.Name,
+	}
+}
+
+// AttachApp installs the application built by the factory.
+func (s *Sensor) AttachApp(build func(env app.Env) app.App, tracer *trace.Recorder) {
+	if s.App != nil {
+		panic("node: application already attached")
+	}
+	s.App = build(s.Env(tracer))
+}
+
+// Start powers the node on: the MAC begins its join procedure and the
+// application starts once a slot is granted.
+func (s *Sensor) Start() {
+	if s.App == nil {
+		panic("node: Start before AttachApp")
+	}
+	s.Mac.OnJoined(func() { s.App.Start() })
+	s.Mac.Start()
+}
+
+// ResetAccounting zeroes every energy and statistics accumulator at
+// instant now, so a measurement window excludes the join transient.
+func (s *Sensor) ResetAccounting(now sim.Time) {
+	s.Ledger.Flush(now)
+	s.Ledger.Reset(now)
+	s.MCU.ResetAccounting()
+	s.Radio.ResetAccounting()
+	s.Mac.ResetAccounting()
+	if r, ok := s.App.(interface{ ResetCounters() }); ok {
+		r.ResetCounters()
+	}
+}
+
+// FinalizeEnergy flushes the meters at instant now, attributes the
+// residual idle-listening energy (receiver-on time outside control
+// windows and frames) and snapshots the report.
+func (s *Sensor) FinalizeEnergy(now sim.Time) energy.Report {
+	s.Ledger.Flush(now)
+	rxTotal := s.Ledger.Meter(platform.ComponentRadio).TimeIn(platform.StateRadioRX)
+	residual := rxTotal - s.Mac.ControlRxTime() - s.Mac.JoinIdleTime()
+	if residual > 0 {
+		s.Ledger.AttributeLoss(energy.LossIdleListening,
+			s.Radio.RxPowerW()*residual.Seconds())
+	}
+	return s.Ledger.Report()
+}
+
+// Base is the base station node (radio + MCU only; it feeds a PC).
+type Base struct {
+	Name    string
+	Profile platform.Profile
+
+	Ledger *energy.Ledger
+	MCU    *mcu.MCU
+	Sched  *tinyos.Sched
+	Radio  *radio.Radio
+	BS     *mac.BS
+}
+
+// BaseOption customises a base-station build.
+type BaseOption func(*mac.BSConfig, *string)
+
+// WithBaseAddressPlan binds the base station to a specific BAN address
+// plan and medium name, for multi-network coexistence studies.
+func WithBaseAddressPlan(name string, p packet.AddressPlan) BaseOption {
+	return func(c *mac.BSConfig, n *string) {
+		c.Plan = p
+		*n = name
+	}
+}
+
+// NewBase builds the base-station stack.
+func NewBase(k *sim.Kernel, ch *channel.Channel, tracer *trace.Recorder,
+	variant mac.Variant, staticCycle sim.Time, maxSlots int, opts ...BaseOption) *Base {
+	prof := platform.BaseStation()
+	ledger := energy.NewLedger()
+	m := mcu.New(k, prof.MCU, ledger)
+	sched := tinyos.NewSched(k, m, 0)
+	cfg := mac.BSConfig{
+		Variant:     variant,
+		Profile:     prof,
+		StaticCycle: staticCycle,
+		MaxSlots:    maxSlots,
+	}
+	name := "bs"
+	for _, opt := range opts {
+		opt(&cfg, &name)
+	}
+	r := radio.New(k, name, prof.Radio, ch, sched, ledger, tracer)
+	bs := mac.NewBS(k, cfg, sched, r, ledger, tracer)
+	return &Base{
+		Name:    name,
+		Profile: prof,
+		Ledger:  ledger,
+		MCU:     m,
+		Sched:   sched,
+		Radio:   r,
+		BS:      bs,
+	}
+}
+
+// Start begins the beacon cycle.
+func (b *Base) Start() { b.BS.Start() }
+
+// ResetAccounting zeroes the base station's accumulators.
+func (b *Base) ResetAccounting(now sim.Time) {
+	b.Ledger.Flush(now)
+	b.Ledger.Reset(now)
+	b.MCU.ResetAccounting()
+	b.Radio.ResetAccounting()
+	b.BS.ResetAccounting()
+}
+
+// FinalizeEnergy flushes and snapshots the base station's ledger.
+func (b *Base) FinalizeEnergy(now sim.Time) energy.Report {
+	b.Ledger.Flush(now)
+	return b.Ledger.Report()
+}

@@ -1,0 +1,86 @@
+package paperdata
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTablesComplete(t *testing.T) {
+	tabs := Tables()
+	if len(tabs) != 4 {
+		t.Fatalf("tables = %d, want 4", len(tabs))
+	}
+	wantRows := map[string]int{"table1": 4, "table2": 5, "table3": 4, "table4": 5}
+	for _, tab := range tabs {
+		if got := len(tab.Rows); got != wantRows[tab.ID] {
+			t.Errorf("%s rows = %d, want %d", tab.ID, got, wantRows[tab.ID])
+		}
+		for _, r := range tab.Rows {
+			if r.RadioRealMJ <= 0 || r.RadioSimMJ <= 0 || r.MCURealMJ <= 0 || r.MCUSimMJ <= 0 {
+				t.Errorf("%s/%s has non-positive energies: %+v", tab.ID, r.Label, r)
+			}
+			if r.Cycle <= 0 || r.Nodes <= 0 {
+				t.Errorf("%s/%s missing sweep geometry", tab.ID, r.Label)
+			}
+		}
+	}
+}
+
+func TestDynamicCycleGeometry(t *testing.T) {
+	// Dynamic TDMA: cycle = (n+1) x 10ms in both dynamic tables.
+	for _, tab := range []Table{Table2(), Table4()} {
+		for _, r := range tab.Rows {
+			want := sim.Time(r.Nodes+1) * 10 * sim.Millisecond
+			if r.Cycle != want {
+				t.Errorf("%s/%s cycle = %v, want %v", tab.ID, r.Label, r.Cycle, want)
+			}
+		}
+	}
+}
+
+func TestStreamingPayloadGeometry(t *testing.T) {
+	// Table 1/2: 2ch x F x cycle ≈ 12 samples (one 18-byte payload).
+	for _, tab := range []Table{Table1(), Table2()} {
+		for _, r := range tab.Rows {
+			samples := 2 * r.SampleRateHz * r.Cycle.Seconds()
+			if samples < 11 || samples > 13.5 {
+				t.Errorf("%s/%s produces %.1f samples/cycle, want ~12", tab.ID, r.Label, samples)
+			}
+		}
+	}
+}
+
+func TestPaperErrorFiguresPresent(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table3", "table4"} {
+		errs, ok := PaperAvgErrors[id]
+		if !ok || errs[0] <= 0 || errs[1] <= 0 {
+			t.Errorf("missing paper avg errors for %s", id)
+		}
+	}
+}
+
+func TestFigure4Consistency(t *testing.T) {
+	f := Figure4()
+	// Figure 4 bars are the Table 1 row 1 and Table 3 row 4 numbers.
+	t1 := Table1().Rows[0]
+	t3 := Table3().Rows[3]
+	if f.StreamingRadioRealMJ != t1.RadioRealMJ || f.StreamingMCURealMJ != t1.MCURealMJ {
+		t.Errorf("figure 4 streaming bars diverge from table 1")
+	}
+	if f.RpeakRadioRealMJ != t3.RadioRealMJ || f.RpeakMCURealMJ != t3.MCURealMJ {
+		t.Errorf("figure 4 rpeak bars diverge from table 3")
+	}
+	// The quoted totals match the bars.
+	if got := f.StreamingRadioRealMJ + f.StreamingMCURealMJ; got != StreamingTotalRealMJ {
+		t.Errorf("streaming total %v != quoted %v", got, StreamingTotalRealMJ)
+	}
+	if got := f.RpeakRadioRealMJ + f.RpeakMCURealMJ; got != RpeakTotalRealMJ {
+		t.Errorf("rpeak total %v != quoted %v", got, RpeakTotalRealMJ)
+	}
+	// The headline 65% saving follows from the published numbers.
+	saving := 1 - (f.RpeakRadioRealMJ+f.RpeakMCURealMJ)/(f.StreamingRadioRealMJ+f.StreamingMCURealMJ)
+	if saving < 0.64 || saving > 0.66 {
+		t.Errorf("published saving = %.3f, paper claims 65%%", saving)
+	}
+}

@@ -1,0 +1,361 @@
+// Package radio models the Nordic nRF2401 single-chip 2.4 GHz transceiver
+// in its ShockBurst mode, the feature the platform (and the paper's radio
+// model, §4.2) is built around:
+//
+//   - the microcontroller clocks the frame into the on-chip FIFO at a low
+//     data rate (a programmed-I/O transfer that keeps the MCU busy while
+//     the radio sits in its negligible-current standby state), and the
+//     radio then bursts it at 1 Mbps;
+//   - the chip validates the CRC and the destination address in hardware,
+//     so corrupted frames (collisions, §4.2) are discarded and overheard
+//     frames addressed to other nodes never reach the microcontroller —
+//     both still cost receive energy, which this model attributes to the
+//     paper's loss categories;
+//   - received payloads are clocked out of the RX FIFO byte-by-byte under
+//     interrupt, keeping the receiver on for the drain tail.
+package radio
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/energy"
+	"repro/internal/packet"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/tinyos"
+	"repro/internal/trace"
+)
+
+// Mode is the radio's operating mode.
+type Mode int
+
+// The nRF2401 operating modes the model distinguishes.
+const (
+	// ModeOff is full power-down; configuration is retained.
+	ModeOff Mode = iota
+	// ModeStandby keeps the crystal running (FIFO accessible).
+	ModeStandby
+	// ModeTx covers PLL settling and the burst transmission.
+	ModeTx
+	// ModeRx covers PLL settling, listening and FIFO draining.
+	ModeRx
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeStandby:
+		return "standby"
+	case ModeTx:
+		return "tx"
+	case ModeRx:
+		return "rx"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Stats counts radio-level events.
+type Stats struct {
+	TxFrames   uint64 // frames transmitted
+	RxAccepted uint64 // frames delivered to the MCU
+	CRCDrops   uint64 // frames discarded by the hardware CRC check
+	AddrDrops  uint64 // frames discarded by the hardware address filter
+}
+
+// ReceiveFunc handles a frame that survived the hardware CRC and address
+// checks, after the FIFO drain completes. It runs in interrupt context on
+// the node's MCU.
+type ReceiveFunc func(f packet.Frame)
+
+// Radio is one nRF2401 instance bound to a node's OS and the shared
+// medium.
+type Radio struct {
+	k      *sim.Kernel
+	name   string
+	params platform.RadioParams
+	ch     *channel.Channel
+	sched  *tinyos.Sched
+	meter  *energy.Meter
+	ledger *energy.Ledger
+	tracer *trace.Recorder
+
+	mode     Mode
+	rxSince  sim.Time // listening valid from this instant (after settle)
+	draining bool
+	txBusy   bool
+	loaded   *packet.Frame // frame sitting in the TX FIFO after Load
+
+	rxAddrs map[packet.Address]bool
+	onRecv  ReceiveFunc
+
+	stats Stats
+	// productiveRx accumulates receiver-on time occupied by frames
+	// (airtime + drain), the complement of idle listening.
+	productiveRx sim.Time
+	txAirTime    sim.Time
+	lastRxEnd    sim.Time
+}
+
+// New creates a radio, registers its energy meter and attaches it to the
+// medium. The radio starts powered down.
+func New(k *sim.Kernel, name string, params platform.RadioParams, ch *channel.Channel,
+	sched *tinyos.Sched, ledger *energy.Ledger, tracer *trace.Recorder) *Radio {
+	v := params.VoltageV
+	meter := energy.NewMeter(platform.ComponentRadio, map[energy.State]energy.Draw{
+		platform.StateRadioOff:     {},
+		platform.StateRadioStandby: {CurrentA: params.StandbyA, VoltageV: v},
+		platform.StateRadioTX:      {CurrentA: params.TxA, VoltageV: v},
+		platform.StateRadioRX:      {CurrentA: params.RxA, VoltageV: v},
+	})
+	ledger.Register(meter)
+	meter.Start(k.Now(), platform.StateRadioOff)
+	r := &Radio{
+		k:       k,
+		name:    name,
+		params:  params,
+		ch:      ch,
+		sched:   sched,
+		meter:   meter,
+		ledger:  ledger,
+		tracer:  tracer,
+		rxAddrs: make(map[packet.Address]bool),
+	}
+	ch.Attach(r)
+	return r
+}
+
+// Name reports the radio's medium identifier.
+func (r *Radio) Name() string { return r.name }
+
+// Params reports the radio's hardware parameters.
+func (r *Radio) Params() platform.RadioParams { return r.params }
+
+// Mode reports the current operating mode.
+func (r *Radio) Mode() Mode { return r.mode }
+
+// Stats returns a copy of the radio counters.
+func (r *Radio) Stats() Stats { return r.stats }
+
+// ProductiveRxTime reports receiver-on time occupied by frames; the rest
+// of the RX residency is idle listening.
+func (r *Radio) ProductiveRxTime() sim.Time { return r.productiveRx }
+
+// TxAirTime reports cumulative on-air transmission time.
+func (r *Radio) TxAirTime() sim.Time { return r.txAirTime }
+
+// LastRxFrameEnd reports the end-of-frame instant of the most recently
+// accepted frame — the hardware timestamp upper layers use to recover
+// protocol timing (e.g. the beacon's on-air start for slot scheduling).
+func (r *Radio) LastRxFrameEnd() sim.Time { return r.lastRxEnd }
+
+// ResetAccounting zeroes the radio's statistics and time accumulators.
+// Used after simulation warm-up so measurements cover steady state only.
+func (r *Radio) ResetAccounting() {
+	r.stats = Stats{}
+	r.productiveRx = 0
+	r.txAirTime = 0
+}
+
+// RxPowerW reports the receive-mode power draw.
+func (r *Radio) RxPowerW() float64 { return r.params.RxA * r.params.VoltageV }
+
+// TxPowerW reports the transmit-mode power draw.
+func (r *Radio) TxPowerW() float64 { return r.params.TxA * r.params.VoltageV }
+
+// SetReceiveHandler installs the upper-layer frame handler.
+func (r *Radio) SetReceiveHandler(fn ReceiveFunc) { r.onRecv = fn }
+
+// SetRxAddresses configures the hardware address filter: only frames
+// destined to one of addrs are forwarded to the MCU.
+func (r *Radio) SetRxAddresses(addrs ...packet.Address) {
+	r.rxAddrs = make(map[packet.Address]bool, len(addrs))
+	for _, a := range addrs {
+		r.rxAddrs[a] = true
+	}
+}
+
+// PowerDown switches the radio off. Illegal while a transmission
+// sequence is in progress.
+func (r *Radio) PowerDown() {
+	if r.txBusy {
+		panic(fmt.Sprintf("radio %s: PowerDown during transmit sequence", r.name))
+	}
+	r.draining = false
+	r.setMode(ModeOff)
+}
+
+// Standby moves the radio to standby. Illegal while transmitting.
+func (r *Radio) Standby() {
+	if r.txBusy {
+		panic(fmt.Sprintf("radio %s: Standby during transmit sequence", r.name))
+	}
+	r.draining = false
+	r.setMode(ModeStandby)
+}
+
+// StartRx turns the receiver on. The radio draws RX current immediately
+// but can only capture frames once the PLL settles. A no-op if already
+// receiving.
+func (r *Radio) StartRx() {
+	if r.txBusy {
+		panic(fmt.Sprintf("radio %s: StartRx during transmit sequence", r.name))
+	}
+	if r.mode == ModeRx && !r.draining {
+		return
+	}
+	r.draining = false
+	r.setMode(ModeRx)
+	r.rxSince = r.k.Now() + r.params.RxSettle
+}
+
+// Load clocks a frame into the TX FIFO: the MCU runs a programmed-I/O
+// loop at the ShockBurst clock-in rate while the radio sits in standby.
+// done runs when the FIFO holds the complete frame. The radio must not be
+// receiving or transmitting.
+func (r *Radio) Load(dest packet.Address, payload []byte, done func()) {
+	if r.txBusy {
+		panic(fmt.Sprintf("radio %s: Load during transmit sequence", r.name))
+	}
+	if r.mode == ModeRx {
+		panic(fmt.Sprintf("radio %s: Load while receiving", r.name))
+	}
+	if len(payload) > r.params.MaxPayloadBytes {
+		panic(fmt.Sprintf("radio %s: payload %dB exceeds ShockBurst FIFO (%dB)",
+			r.name, len(payload), r.params.MaxPayloadBytes))
+	}
+	r.setMode(ModeStandby)
+	loadDur := r.params.TxClockIn(r.params.AddressBytes + len(payload))
+	frame := packet.Frame{Dest: dest, Payload: payload}
+	r.sched.BusyLoad("radio-fifo-load", loadDur, func() {
+		r.loaded = &frame
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Fire transmits the frame previously loaded with Load: PLL settling,
+// then the 1 Mbps burst. done runs when the burst ends and the radio is
+// back in standby.
+func (r *Radio) Fire(done func()) {
+	if r.loaded == nil {
+		panic(fmt.Sprintf("radio %s: Fire with empty TX FIFO", r.name))
+	}
+	if r.txBusy {
+		panic(fmt.Sprintf("radio %s: Fire during transmit sequence", r.name))
+	}
+	if r.mode == ModeRx {
+		panic(fmt.Sprintf("radio %s: Fire while receiving", r.name))
+	}
+	frame := *r.loaded
+	r.loaded = nil
+	r.txBusy = true
+	r.setMode(ModeTx)
+	air := r.params.Airtime(len(frame.Payload))
+	r.k.Schedule(r.params.TxSettle, func(*sim.Kernel) {
+		r.ch.BeginTx(r, frame.Encode(), air)
+		r.k.Schedule(air, func(*sim.Kernel) {
+			r.stats.TxFrames++
+			r.txAirTime += air
+			r.txBusy = false
+			r.setMode(ModeStandby)
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// Transmit is Load followed immediately by Fire.
+func (r *Radio) Transmit(dest packet.Address, payload []byte, done func()) {
+	r.Load(dest, payload, func() { r.Fire(done) })
+}
+
+// ChannelID implements channel.Transceiver.
+func (r *Radio) ChannelID() string { return r.name }
+
+// ListeningSince implements channel.Transceiver.
+func (r *Radio) ListeningSince() (sim.Time, bool) {
+	if r.mode != ModeRx || r.draining {
+		return 0, false
+	}
+	return r.rxSince, true
+}
+
+// Deliver implements channel.Transceiver: end-of-frame processing in the
+// order the hardware applies it — CRC check, address filter, FIFO drain,
+// MCU interrupt.
+func (r *Radio) Deliver(image []byte, cause channel.Corruption) {
+	frame, crcOK, err := packet.Decode(image)
+	air := sim.Time(float64(len(image)+r.params.PreambleBytes) * 8 /
+		r.params.BitrateHz * float64(sim.Second))
+	r.productiveRx += air
+
+	if err != nil || !crcOK {
+		// The nRF2401 discards the frame internally; the receive energy
+		// for the airtime is already metered — attribute it. Collisions
+		// are the paper's category; noise-corrupted frames land there
+		// too, since both manifest as CRC-discarded frames needing
+		// retransmission.
+		r.stats.CRCDrops++
+		r.ledger.AttributeLoss(energy.LossCollision, r.RxPowerW()*air.Seconds())
+		r.tracer.Recordf(r.k.Now(), r.name, trace.KindCRCDrop, "cause=%v", cause)
+		return
+	}
+	if !r.rxAddrs[frame.Dest] {
+		// Overheard frame: address checked on-chip, never forwarded.
+		r.stats.AddrDrops++
+		r.ledger.AttributeLoss(energy.LossOverhearing, r.RxPowerW()*air.Seconds())
+		r.tracer.Recordf(r.k.Now(), r.name, trace.KindAddrFilter, "dest=%06x", uint32(frame.Dest))
+		return
+	}
+
+	// Drain the RX FIFO: the radio stays in RX; the MCU services one
+	// interrupt per byte (cheap), then the upper layer handler runs.
+	r.lastRxEnd = r.k.Now()
+	r.draining = true
+	drain := r.params.RxClockOut(len(frame.Payload))
+	r.productiveRx += drain
+	r.k.Schedule(drain, func(*sim.Kernel) {
+		if r.mode != ModeRx || !r.draining {
+			return // upper layer repurposed the radio mid-drain
+		}
+		r.draining = false
+		r.rxSince = r.k.Now() // listening resumes after the drain
+		r.stats.RxAccepted++
+		// Charge the per-byte FIFO interrupts to the MCU, but invoke the
+		// handler at hardware time: on the MSP430 the radio interrupt
+		// preempts whatever task is running, so time-critical reactions
+		// (power the radio down, stamp the frame) are immediate, while
+		// any heavy processing the handler wants is posted as a task.
+		isrCycles := int64(len(frame.Payload)+1) * r.params.PerByteISRCycles
+		r.sched.Interrupt("radio-rx", isrCycles, nil)
+		if r.onRecv != nil {
+			r.onRecv(frame)
+		}
+	})
+}
+
+// setMode performs the meter transition for a mode change.
+func (r *Radio) setMode(m Mode) {
+	if r.mode == m {
+		return
+	}
+	r.mode = m
+	var s energy.State
+	switch m {
+	case ModeOff:
+		s = platform.StateRadioOff
+	case ModeStandby:
+		s = platform.StateRadioStandby
+	case ModeTx:
+		s = platform.StateRadioTX
+	case ModeRx:
+		s = platform.StateRadioRX
+	}
+	r.meter.Transition(r.k.Now(), s)
+}

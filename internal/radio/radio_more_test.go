@@ -1,0 +1,172 @@
+package radio
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+func TestAccessors(t *testing.T) {
+	r := newRig()
+	st := r.station("node1", platform.IMEC())
+	if st.radio.Name() != "node1" {
+		t.Fatalf("Name = %q", st.radio.Name())
+	}
+	if st.radio.Params().TxA != 17.54e-3 {
+		t.Fatalf("Params not exposed")
+	}
+	if got := st.radio.TxPowerW(); got < 0.049 || got > 0.050 {
+		t.Fatalf("TxPowerW = %v", got)
+	}
+	if got := st.radio.RxPowerW(); got < 0.069 || got > 0.070 {
+		t.Fatalf("RxPowerW = %v", got)
+	}
+}
+
+func TestResetAccountingClearsCounters(t *testing.T) {
+	r := newRig()
+	tx := r.station("node1", platform.IMEC())
+	rx := r.station("bs", platform.BaseStation())
+	rx.radio.SetRxAddresses(packet.AddrBSData)
+	r.k.Schedule(0, func(*sim.Kernel) { rx.radio.StartRx() })
+	r.k.Schedule(sim.Millisecond, func(*sim.Kernel) {
+		tx.radio.Transmit(packet.AddrBSData, []byte{1, 2, 3}, nil)
+	})
+	r.k.RunUntil(20 * sim.Millisecond)
+	if rx.radio.Stats().RxAccepted != 1 || rx.radio.ProductiveRxTime() == 0 {
+		t.Fatalf("precondition: reception not recorded")
+	}
+	rx.radio.ResetAccounting()
+	tx.radio.ResetAccounting()
+	if rx.radio.Stats() != (Stats{}) || rx.radio.ProductiveRxTime() != 0 {
+		t.Fatalf("rx accounting survived reset")
+	}
+	if tx.radio.TxAirTime() != 0 || tx.radio.Stats().TxFrames != 0 {
+		t.Fatalf("tx accounting survived reset")
+	}
+}
+
+func TestLastRxFrameEndStamps(t *testing.T) {
+	r := newRig()
+	tx := r.station("node1", platform.IMEC())
+	rx := r.station("bs", platform.BaseStation())
+	rx.radio.SetRxAddresses(packet.AddrBSData)
+	r.k.Schedule(0, func(*sim.Kernel) { rx.radio.StartRx() })
+	r.k.Schedule(sim.Millisecond, func(*sim.Kernel) {
+		tx.radio.Transmit(packet.AddrBSData, make([]byte, 18), nil)
+	})
+	r.k.RunUntil(20 * sim.Millisecond)
+	// Frame end = 1ms + MCU wake 6us + load 3.36ms + settle 195us +
+	// air 192us.
+	want := sim.Millisecond + 6*sim.Microsecond + 3360*sim.Microsecond +
+		195*sim.Microsecond + 192*sim.Microsecond
+	if got := rx.radio.LastRxFrameEnd(); got != want {
+		t.Fatalf("LastRxFrameEnd = %v, want %v", got, want)
+	}
+}
+
+func TestStandbyFromRxStopsListening(t *testing.T) {
+	r := newRig()
+	rx := r.station("bs", platform.BaseStation())
+	r.k.Schedule(0, func(*sim.Kernel) { rx.radio.StartRx() })
+	r.k.Schedule(sim.Millisecond, func(*sim.Kernel) { rx.radio.Standby() })
+	r.k.RunUntil(2 * sim.Millisecond)
+	if rx.radio.Mode() != ModeStandby {
+		t.Fatalf("mode = %v, want standby", rx.radio.Mode())
+	}
+	if _, ok := rx.radio.ListeningSince(); ok {
+		t.Fatalf("still listening in standby")
+	}
+}
+
+func TestStandbyAbortsDrain(t *testing.T) {
+	// Repurposing the radio mid-drain discards the frame: the handler
+	// must never fire for it.
+	r := newRig()
+	tx := r.station("node1", platform.IMEC())
+	rx := r.station("node2", platform.IMEC()) // slow drain: 18B at 100kbps = 1.44ms
+	rx.radio.SetRxAddresses(packet.AddrBSData)
+	got := 0
+	rx.radio.SetReceiveHandler(func(packet.Frame) { got++ })
+	r.k.Schedule(0, func(*sim.Kernel) { rx.radio.StartRx() })
+	r.k.Schedule(sim.Millisecond, func(*sim.Kernel) {
+		tx.radio.Transmit(packet.AddrBSData, make([]byte, 18), nil)
+	})
+	// Frame ends at ~4.75ms; drain runs until ~6.19ms. Interrupt it.
+	r.k.Schedule(5*sim.Millisecond, func(*sim.Kernel) { rx.radio.Standby() })
+	r.k.RunUntil(20 * sim.Millisecond)
+	if got != 0 {
+		t.Fatalf("aborted drain still delivered the frame")
+	}
+	if rx.radio.Stats().RxAccepted != 0 {
+		t.Fatalf("aborted drain counted as accepted")
+	}
+}
+
+func TestPowerDownDuringTransmitPanics(t *testing.T) {
+	r := newRig()
+	tx := r.station("node1", platform.IMEC())
+	panicked := false
+	r.k.Schedule(0, func(*sim.Kernel) {
+		tx.radio.Load(packet.AddrBSData, []byte{1}, func() { tx.radio.Fire(nil) })
+	})
+	// Mid-burst (load 640us + settle 195us; air 56us): 700us is inside
+	// the settle/burst window.
+	r.k.Schedule(700*sim.Microsecond, func(*sim.Kernel) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		tx.radio.PowerDown()
+	})
+	r.k.RunUntil(5 * sim.Millisecond)
+	if !panicked {
+		t.Fatalf("PowerDown during burst did not panic")
+	}
+}
+
+func TestSetRxAddressesMultiplePipes(t *testing.T) {
+	// The base station listens on data and control pipes simultaneously.
+	r := newRig()
+	tx := r.station("node1", platform.IMEC())
+	rx := r.station("bs", platform.BaseStation())
+	rx.radio.SetRxAddresses(packet.AddrBSData, packet.AddrBSControl)
+	r.k.Schedule(0, func(*sim.Kernel) { rx.radio.StartRx() })
+	r.k.Schedule(sim.Millisecond, func(*sim.Kernel) {
+		tx.radio.Transmit(packet.AddrBSControl, []byte{1, 2, 3, 4}, nil)
+	})
+	r.k.Schedule(10*sim.Millisecond, func(*sim.Kernel) {
+		tx.radio.Transmit(packet.AddrBSData, make([]byte, 18), nil)
+	})
+	r.k.RunUntil(30 * sim.Millisecond)
+	if got := len(rx.got); got != 2 {
+		t.Fatalf("accepted %d frames across two pipes, want 2", got)
+	}
+	if rx.got[0].Dest != packet.AddrBSControl || rx.got[1].Dest != packet.AddrBSData {
+		t.Fatalf("pipe dispatch wrong: %+v", rx.got)
+	}
+}
+
+func TestLoadOverwritesPreviousFIFOContent(t *testing.T) {
+	// Loading twice before firing replaces the FIFO frame, like writing
+	// the hardware FIFO again.
+	r := newRig()
+	tx := r.station("node1", platform.IMEC())
+	rx := r.station("bs", platform.BaseStation())
+	rx.radio.SetRxAddresses(packet.AddrBSData)
+	r.k.Schedule(0, func(*sim.Kernel) { rx.radio.StartRx() })
+	r.k.Schedule(sim.Millisecond, func(*sim.Kernel) {
+		tx.radio.Load(packet.AddrBSData, []byte{1}, func() {
+			tx.radio.Load(packet.AddrBSData, []byte{2, 2}, func() {
+				tx.radio.Fire(nil)
+			})
+		})
+	})
+	r.k.RunUntil(30 * sim.Millisecond)
+	if len(rx.got) != 1 || len(rx.got[0].Payload) != 2 {
+		t.Fatalf("fired frame = %+v, want the second load", rx.got)
+	}
+}

@@ -1,0 +1,42 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderMarkdown formats the table as GitHub-flavoured markdown, the
+// format EXPERIMENTS.md uses, so the document can be regenerated from a
+// run verbatim.
+func (t TableReport) RenderMarkdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", strings.ToUpper(t.ID[:1])+t.ID[1:], t.Caption)
+	b.WriteString("| point | cycle | radio real | radio sim | radio ours | radio analyt | µC real | µC sim | µC ours | µC analyt | dRadio% | dMCU% |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "| %s | %.0f ms | %.1f | %.1f | %.1f | %.1f | %.1f | %.1f | %.1f | %.1f | %+.1f | %+.1f |\n",
+			r.Label, r.CycleMS,
+			r.RadioRealMJ, r.RadioSimMJ, r.OursRadioMJ, r.AnalyticRadioMJ,
+			r.MCURealMJ, r.MCUSimMJ, r.OursMCUMJ, r.AnalyticMCUMJ,
+			r.RadioErrVsReal(), r.MCUErrVsReal())
+	}
+	fmt.Fprintf(&b, "\nAverage \\|error\\| vs real: **radio %.1f%%, µC %.1f%%** (vs the paper's simulator: radio %.1f%%, µC %.1f%%).\n",
+		t.AvgAbsRadioErrVsReal(), t.AvgAbsMCUErrVsReal(),
+		t.AvgAbsRadioErrVsSim(), t.AvgAbsMCUErrVsSim())
+	return b.String()
+}
+
+// RenderCSV formats the table as CSV with a header row, for plotting.
+func (t TableReport) RenderCSV() string {
+	var b strings.Builder
+	b.WriteString("point,cycle_ms,radio_real_mj,radio_sim_mj,radio_ours_mj,radio_analyt_mj," +
+		"mcu_real_mj,mcu_sim_mj,mcu_ours_mj,mcu_analyt_mj,radio_err_pct,mcu_err_pct\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%s,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.2f,%.2f\n",
+			r.Label, r.CycleMS,
+			r.RadioRealMJ, r.RadioSimMJ, r.OursRadioMJ, r.AnalyticRadioMJ,
+			r.MCURealMJ, r.MCUSimMJ, r.OursMCUMJ, r.AnalyticMCUMJ,
+			r.RadioErrVsReal(), r.MCUErrVsReal())
+	}
+	return b.String()
+}

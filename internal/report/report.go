@@ -1,0 +1,157 @@
+// Package report renders reproduction results next to the paper's
+// published values, in the format of the paper's tables, and computes the
+// per-row and average estimation errors used as acceptance criteria.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Comparison is one sweep point's reproduction outcome next to the
+// published values.
+type Comparison struct {
+	Label   string
+	CycleMS float64
+	// Paper columns.
+	RadioRealMJ, RadioSimMJ float64
+	MCURealMJ, MCUSimMJ     float64
+	// Our columns.
+	OursRadioMJ, OursMCUMJ float64
+	// Analytic model columns (independent closed-form estimate).
+	AnalyticRadioMJ, AnalyticMCUMJ float64
+}
+
+// RadioErrVsReal reports our radio estimate's percent error against the
+// paper's measurement.
+func (c Comparison) RadioErrVsReal() float64 { return pctErr(c.OursRadioMJ, c.RadioRealMJ) }
+
+// RadioErrVsSim reports our radio estimate's percent error against the
+// paper's simulator.
+func (c Comparison) RadioErrVsSim() float64 { return pctErr(c.OursRadioMJ, c.RadioSimMJ) }
+
+// MCUErrVsReal reports our µC estimate's percent error against the
+// paper's measurement.
+func (c Comparison) MCUErrVsReal() float64 { return pctErr(c.OursMCUMJ, c.MCURealMJ) }
+
+// MCUErrVsSim reports our µC estimate's percent error against the
+// paper's simulator.
+func (c Comparison) MCUErrVsSim() float64 { return pctErr(c.OursMCUMJ, c.MCUSimMJ) }
+
+func pctErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Inf(1)
+	}
+	return (got - want) / want * 100
+}
+
+// TableReport is a full reproduced table.
+type TableReport struct {
+	ID      string
+	Caption string
+	Rows    []Comparison
+}
+
+// AvgAbsRadioErrVsReal reports the mean absolute radio error against the
+// measurements — the figure of merit the paper quotes per table.
+func (t TableReport) AvgAbsRadioErrVsReal() float64 {
+	return mean(t.Rows, func(c Comparison) float64 { return math.Abs(c.RadioErrVsReal()) })
+}
+
+// AvgAbsMCUErrVsReal reports the mean absolute µC error against the
+// measurements.
+func (t TableReport) AvgAbsMCUErrVsReal() float64 {
+	return mean(t.Rows, func(c Comparison) float64 { return math.Abs(c.MCUErrVsReal()) })
+}
+
+// AvgAbsRadioErrVsSim reports the mean absolute radio error against the
+// paper's simulator.
+func (t TableReport) AvgAbsRadioErrVsSim() float64 {
+	return mean(t.Rows, func(c Comparison) float64 { return math.Abs(c.RadioErrVsSim()) })
+}
+
+// AvgAbsMCUErrVsSim reports the mean absolute µC error against the
+// paper's simulator.
+func (t TableReport) AvgAbsMCUErrVsSim() float64 {
+	return mean(t.Rows, func(c Comparison) float64 { return math.Abs(c.MCUErrVsSim()) })
+}
+
+func mean(rows []Comparison, f func(Comparison) float64) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range rows {
+		s += f(r)
+	}
+	return s / float64(len(rows))
+}
+
+// Render formats the table in the paper's layout, extended with our
+// simulator's and the analytic model's columns and per-row errors.
+func (t TableReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(t.ID), t.Caption)
+	fmt.Fprintf(&b, "%-9s %-7s | %-26s | %-26s\n", "", "",
+		"E Radio (mJ)", "E uC (mJ)")
+	fmt.Fprintf(&b, "%-9s %-7s | %7s %7s %7s %7s | %7s %7s %7s %7s | %8s %8s\n",
+		"point", "cycle",
+		"real", "sim", "ours", "analyt",
+		"real", "sim", "ours", "analyt",
+		"dRadio%", "dMCU%")
+	b.WriteString(strings.Repeat("-", 126))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-9s %5.0fms | %7.1f %7.1f %7.1f %7.1f | %7.1f %7.1f %7.1f %7.1f | %+8.1f %+8.1f\n",
+			r.Label, r.CycleMS,
+			r.RadioRealMJ, r.RadioSimMJ, r.OursRadioMJ, r.AnalyticRadioMJ,
+			r.MCURealMJ, r.MCUSimMJ, r.OursMCUMJ, r.AnalyticMCUMJ,
+			r.RadioErrVsReal(), r.MCUErrVsReal())
+	}
+	b.WriteString(strings.Repeat("-", 126))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "avg |err| vs real: radio %.1f%%  uC %.1f%%   (vs paper's sim: radio %.1f%%  uC %.1f%%)\n",
+		t.AvgAbsRadioErrVsReal(), t.AvgAbsMCUErrVsReal(),
+		t.AvgAbsRadioErrVsSim(), t.AvgAbsMCUErrVsSim())
+	return b.String()
+}
+
+// Bar is one Figure 4 style stacked bar.
+type Bar struct {
+	Label   string
+	RadioMJ float64
+	MCUMJ   float64
+}
+
+// Total reports the bar's stacked height.
+func (b Bar) Total() float64 { return b.RadioMJ + b.MCUMJ }
+
+// RenderFigure4 renders the streaming-vs-Rpeak comparison as the paper's
+// stacked bars (textually), with the energy-saving headline.
+func RenderFigure4(bars []Bar) string {
+	var sb strings.Builder
+	sb.WriteString("FIGURE 4 — ECG streaming vs on-node Rpeak (radio+uC energy over 60 s)\n")
+	max := 0.0
+	for _, b := range bars {
+		if b.Total() > max {
+			max = b.Total()
+		}
+	}
+	const width = 60
+	for _, b := range bars {
+		radioW := int(b.RadioMJ / max * width)
+		mcuW := int(b.MCUMJ / max * width)
+		fmt.Fprintf(&sb, "%-22s |%s%s %6.1f mJ (radio %.1f + uC %.1f)\n",
+			b.Label,
+			strings.Repeat("R", radioW), strings.Repeat("u", mcuW),
+			b.Total(), b.RadioMJ, b.MCUMJ)
+	}
+	if len(bars) >= 2 {
+		first, last := bars[0].Total(), bars[len(bars)-1].Total()
+		if first > 0 {
+			fmt.Fprintf(&sb, "energy saving: %.0f%% (paper: 65%%)\n", (1-last/first)*100)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,127 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleTable() TableReport {
+	return TableReport{
+		ID:      "table1",
+		Caption: "test caption",
+		Rows: []Comparison{
+			{Label: "F=205Hz", CycleMS: 30,
+				RadioRealMJ: 540.6, RadioSimMJ: 502.9, OursRadioMJ: 548.3, AnalyticRadioMJ: 544.0,
+				MCURealMJ: 170.2, MCUSimMJ: 161.2, OursMCUMJ: 162.2, AnalyticMCUMJ: 161.0},
+			{Label: "F=55Hz", CycleMS: 120,
+				RadioRealMJ: 132.2, RadioSimMJ: 126.2, OursRadioMJ: 135.0, AnalyticRadioMJ: 134.0,
+				MCURealMJ: 113.7, MCUSimMJ: 123.5, OursMCUMJ: 123.9, AnalyticMCUMJ: 123.0},
+		},
+	}
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestComparisonErrors(t *testing.T) {
+	c := sampleTable().Rows[0]
+	if !approx(c.RadioErrVsReal(), (548.3-540.6)/540.6*100, 1e-9) {
+		t.Fatalf("RadioErrVsReal = %v", c.RadioErrVsReal())
+	}
+	if !approx(c.RadioErrVsSim(), (548.3-502.9)/502.9*100, 1e-9) {
+		t.Fatalf("RadioErrVsSim = %v", c.RadioErrVsSim())
+	}
+	if !approx(c.MCUErrVsReal(), (162.2-170.2)/170.2*100, 1e-9) {
+		t.Fatalf("MCUErrVsReal = %v", c.MCUErrVsReal())
+	}
+	zero := Comparison{}
+	if !math.IsInf(zero.RadioErrVsReal(), 1) {
+		t.Fatalf("zero reference should yield +Inf")
+	}
+}
+
+func TestAverages(t *testing.T) {
+	tab := sampleTable()
+	wantRadio := (math.Abs(tab.Rows[0].RadioErrVsReal()) + math.Abs(tab.Rows[1].RadioErrVsReal())) / 2
+	if !approx(tab.AvgAbsRadioErrVsReal(), wantRadio, 1e-9) {
+		t.Fatalf("AvgAbsRadioErrVsReal = %v, want %v", tab.AvgAbsRadioErrVsReal(), wantRadio)
+	}
+	if empty := (TableReport{}); empty.AvgAbsMCUErrVsReal() != 0 {
+		t.Fatalf("empty table average not zero")
+	}
+}
+
+func TestRenderContainsEverything(t *testing.T) {
+	out := sampleTable().Render()
+	for _, want := range []string{"TABLE1", "test caption", "F=205Hz", "540.6", "548.3", "avg |err|"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFigure4(t *testing.T) {
+	out := RenderFigure4([]Bar{
+		{Label: "ECG streaming (30ms)", RadioMJ: 540.6, MCUMJ: 170.2},
+		{Label: "Rpeak (120ms)", RadioMJ: 113.1, MCUMJ: 133.1},
+	})
+	if !strings.Contains(out, "FIGURE 4") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "energy saving: 65%") {
+		t.Fatalf("missing the paper's 65%% headline:\n%s", out)
+	}
+	// The streaming bar must be visibly longer.
+	lines := strings.Split(out, "\n")
+	if strings.Count(lines[1], "R") <= strings.Count(lines[2], "R") {
+		t.Fatalf("bar lengths not proportional:\n%s", out)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	out := sampleTable().RenderMarkdown()
+	for _, want := range []string{"## Table1", "| F=205Hz | 30 ms |", "| 540.6 |",
+		"Average \\|error\\| vs real"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// Column count: header and rows agree.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var header, row string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "| point") {
+			header = l
+		}
+		if strings.HasPrefix(l, "| F=205Hz") {
+			row = l
+		}
+	}
+	if strings.Count(header, "|") != strings.Count(row, "|") {
+		t.Fatalf("markdown column mismatch:\n%s\n%s", header, row)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	out := sampleTable().RenderCSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want header + 2 rows", len(lines))
+	}
+	wantCols := strings.Count(lines[0], ",")
+	for i, l := range lines[1:] {
+		if strings.Count(l, ",") != wantCols {
+			t.Fatalf("csv row %d column mismatch: %s", i, l)
+		}
+	}
+	if !strings.HasPrefix(lines[1], "F=205Hz,30.0,540.6") {
+		t.Fatalf("csv row content: %s", lines[1])
+	}
+}
+
+func TestBarTotal(t *testing.T) {
+	b := Bar{RadioMJ: 100, MCUMJ: 50}
+	if b.Total() != 150 {
+		t.Fatalf("Total = %v", b.Total())
+	}
+}

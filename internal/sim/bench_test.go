@@ -1,0 +1,53 @@
+package sim
+
+import "testing"
+
+// BenchmarkScheduleFire measures raw event throughput: schedule + fire of
+// a trivial handler — the kernel operation every model action reduces to.
+func BenchmarkScheduleFire(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel(1)
+	for i := 0; i < b.N; i++ {
+		k.Schedule(Microsecond, func(*Kernel) {})
+		k.RunUntil(k.Now() + Microsecond)
+	}
+}
+
+// BenchmarkDeepQueue measures ordering cost with a large pending set.
+func BenchmarkDeepQueue(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := NewKernel(1)
+		for j := 0; j < 10000; j++ {
+			k.Schedule(Time(j%997)*Microsecond, func(*Kernel) {})
+		}
+		k.Run()
+	}
+}
+
+// BenchmarkCancel measures schedule+cancel round trips.
+func BenchmarkCancel(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel(1)
+	for i := 0; i < b.N; i++ {
+		id := k.Schedule(Second, func(*Kernel) {})
+		k.Cancel(id)
+	}
+}
+
+// BenchmarkPeriodicTimer measures the timer service at a sampling-like
+// rate.
+func BenchmarkPeriodicTimer(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel(1)
+	n := 0
+	t := NewTimer(k, func(*Kernel) { n++ })
+	t.StartPeriodic(5 * Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.RunUntil(k.Now() + 5*Millisecond)
+	}
+	if n == 0 {
+		b.Fatal("timer never fired")
+	}
+}

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Handler is a callback executed when a scheduled event fires. It receives
+// the kernel so that handlers can schedule follow-up events.
+type Handler func(k *Kernel)
+
+// EventID identifies a scheduled event so it can be cancelled before it
+// fires. The zero EventID is never issued.
+type EventID uint64
+
+// event is one pending entry in the kernel's queue.
+type event struct {
+	at      Time
+	seq     uint64 // tie-breaker: FIFO among events at the same instant
+	id      EventID
+	handler Handler
+	index   int // heap index, maintained by eventQueue
+	dead    bool
+}
+
+// eventQueue implements container/heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is the discrete-event scheduler. It is not safe for concurrent
+// use: the whole simulation runs on one goroutine, which is what makes the
+// runs deterministic.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	nextID  EventID
+	live    map[EventID]*event
+	rng     *rand.Rand
+	seed    int64
+
+	executed uint64
+	stopped  bool
+}
+
+// NewKernel creates a kernel whose random streams derive from seed.
+// The same seed always reproduces the same simulation.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		live: make(map[EventID]*event),
+		rng:  rand.New(rand.NewSource(seed)),
+		seed: seed,
+	}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Seed reports the seed the kernel was constructed with.
+func (k *Kernel) Seed() int64 { return k.seed }
+
+// Executed reports how many events have been dispatched so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Pending reports how many events are scheduled and not yet fired.
+func (k *Kernel) Pending() int { return len(k.live) }
+
+// Rand returns the kernel's deterministic random source. All stochastic
+// model behaviour (bit errors, random SSR offsets, jitter) must draw from
+// this stream so that a (config, seed) pair fully determines a run.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// ScheduleAt posts handler to run at the absolute instant at. Scheduling
+// in the past (before Now) is a programming error and panics: allowing it
+// would silently reorder causality.
+func (k *Kernel) ScheduleAt(at Time, handler Handler) EventID {
+	if handler == nil {
+		panic("sim: ScheduleAt with nil handler")
+	}
+	if at < k.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past (now=%v, at=%v)", k.now, at))
+	}
+	k.nextSeq++
+	k.nextID++
+	e := &event{at: at, seq: k.nextSeq, id: k.nextID, handler: handler}
+	heap.Push(&k.queue, e)
+	k.live[e.id] = e
+	return e.id
+}
+
+// Schedule posts handler to run after the relative delay d (which may be
+// zero: the handler then runs at the current instant, after all handlers
+// already queued for this instant).
+func (k *Kernel) Schedule(d Time, handler Handler) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.ScheduleAt(k.now+d, handler)
+}
+
+// Cancel removes a pending event. It reports whether the event was still
+// pending (false when it has already fired or been cancelled).
+func (k *Kernel) Cancel(id EventID) bool {
+	e, ok := k.live[id]
+	if !ok {
+		return false
+	}
+	delete(k.live, id)
+	e.dead = true
+	e.handler = nil
+	if e.index >= 0 {
+		heap.Remove(&k.queue, e.index)
+	}
+	return true
+}
+
+// Stop makes Run/RunUntil return after the currently executing handler
+// completes. Pending events remain queued.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// step fires the earliest pending event. It reports false when the queue
+// is empty.
+func (k *Kernel) step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*event)
+		if e.dead {
+			continue
+		}
+		delete(k.live, e.id)
+		k.now = e.at
+		k.executed++
+		h := e.handler
+		e.handler = nil
+		h(k)
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the queue is empty, Stop is
+// called, or the next event lies strictly beyond the horizon. Time then
+// advances to the horizon (so energy ledgers can close their intervals at
+// a well-defined end instant).
+func (k *Kernel) RunUntil(horizon Time) {
+	if horizon < k.now {
+		panic(fmt.Sprintf("sim: RunUntil horizon %v before now %v", horizon, k.now))
+	}
+	k.stopped = false
+	for !k.stopped {
+		next, ok := k.peekTime()
+		if !ok || next > horizon {
+			break
+		}
+		k.step()
+	}
+	if !k.stopped && k.now < horizon {
+		k.now = horizon
+	}
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for !k.stopped && k.step() {
+	}
+}
+
+// peekTime reports the instant of the earliest live event.
+func (k *Kernel) peekTime() (Time, bool) {
+	for len(k.queue) > 0 {
+		if k.queue[0].dead {
+			heap.Pop(&k.queue)
+			continue
+		}
+		return k.queue[0].at, true
+	}
+	return 0, false
+}

@@ -1,0 +1,128 @@
+// Package trace records typed simulation events so that protocol
+// timelines (the paper's Figures 2 and 3) can be printed from an actual
+// run, and so tests can assert on protocol behaviour without reaching
+// into component internals.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies a recorded event.
+type Kind string
+
+// The event kinds the framework emits.
+const (
+	KindBeaconTx   Kind = "beacon-tx"   // base station sent a beacon (SB slot)
+	KindBeaconRx   Kind = "beacon-rx"   // node received a beacon (RB in the figures)
+	KindSSRTx      Kind = "ssr-tx"      // node sent a slot request (SSRi)
+	KindSlotGrant  Kind = "slot-grant"  // base station assigned a slot (Si created)
+	KindSlotStart  Kind = "slot-start"  // a node's data slot began
+	KindDataTx     Kind = "data-tx"     // node transmitted a data frame
+	KindDataRx     Kind = "data-rx"     // base station accepted a data frame
+	KindAckRx      Kind = "ack-rx"      // node received the acknowledgement
+	KindAckMissed  Kind = "ack-missed"  // ack window elapsed with no ack
+	KindCollision  Kind = "collision"   // a frame was corrupted by overlap
+	KindCRCDrop    Kind = "crc-drop"    // radio discarded a frame on CRC
+	KindAddrFilter Kind = "addr-filter" // radio discarded an overheard frame
+	KindCycleGrow  Kind = "cycle-grow"  // dynamic TDMA extended its cycle
+	KindJoined     Kind = "joined"      // node completed the join handshake
+	KindBeat       Kind = "beat"        // Rpeak application detected a beat
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	At     sim.Time
+	Node   string // "bs" or the sensor node name
+	Kind   Kind
+	Detail string
+}
+
+// String renders the event as one timeline line.
+func (e Event) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("%10.3fms  %-6s %s", e.At.Milliseconds(), e.Node, e.Kind)
+	}
+	return fmt.Sprintf("%10.3fms  %-6s %-12s %s", e.At.Milliseconds(), e.Node, e.Kind, e.Detail)
+}
+
+// Recorder accumulates events. A nil *Recorder is valid and drops
+// everything, so components can trace unconditionally.
+type Recorder struct {
+	events []Event
+	limit  int
+}
+
+// New creates a recorder that keeps at most limit events (0 = unlimited).
+func New(limit int) *Recorder { return &Recorder{limit: limit} }
+
+// Record appends an event. Safe on a nil receiver.
+func (r *Recorder) Record(at sim.Time, node string, kind Kind, detail string) {
+	if r == nil {
+		return
+	}
+	if r.limit > 0 && len(r.events) >= r.limit {
+		return
+	}
+	r.events = append(r.events, Event{At: at, Node: node, Kind: kind, Detail: detail})
+}
+
+// Recordf is Record with a format string.
+func (r *Recorder) Recordf(at sim.Time, node string, kind Kind, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.Record(at, node, kind, fmt.Sprintf(format, args...))
+}
+
+// Events returns all recorded events in record order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Filter returns the events matching kind, in order.
+func (r *Recorder) Filter(kind Kind) []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range r.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByNode returns the events attributed to node, in order.
+func (r *Recorder) ByNode(node string) []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range r.events {
+		if e.Node == node {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count reports how many events of the given kind were recorded.
+func (r *Recorder) Count(kind Kind) int { return len(r.Filter(kind)) }
+
+// Render formats the whole timeline as text.
+func (r *Recorder) Render() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
