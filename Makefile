@@ -1,0 +1,36 @@
+# Developer and CI entry points. `make` (or `make ci`) is the gate every
+# change must pass: vet, build, the full test suite, and a race-detector
+# pass over the packages that host or feed the parallel experiment
+# runner.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench fuzz sweep-demo
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The runner executes many simulations concurrently; the kernel, core
+# façade and runner itself must stay race-clean under the detector.
+race:
+	$(GO) test -race ./internal/runner ./internal/sim ./internal/core
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Continuous fuzzing of the scenario JSON loader (bounded for CI use;
+# raise -fuzztime locally).
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzLoadScenario -fuzztime 30s ./internal/core
+
+# Quick eyeball check of the parallel sweep path.
+sweep-demo:
+	$(GO) run ./cmd/sweep -mode cycle -duration 5s -progress

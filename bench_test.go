@@ -19,6 +19,7 @@ import (
 	"repro/internal/paperdata"
 	"repro/internal/platform"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -32,7 +33,9 @@ func logTableOnce(b *testing.B, key, rendered string) {
 	}
 }
 
-// benchTable reproduces one published table per iteration.
+// benchTable reproduces one published table per iteration. The table's
+// rows fan out across the parallel runner (Workers 0 = all cores);
+// worker count changes only the wall-clock time, never the numbers.
 func benchTable(b *testing.B, id string) {
 	b.ReportAllocs()
 	var last report.TableReport
@@ -284,7 +287,9 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 }
 
 // BenchmarkScenario exercises the four (MAC, application) corners at a
-// fixed small window, as a quick regression grid.
+// fixed small window, as a quick regression grid. Each iteration submits
+// the whole grid through the parallel runner, the way every large-grid
+// experiment now runs.
 func BenchmarkScenario(b *testing.B) {
 	cases := []struct {
 		name    string
@@ -297,21 +302,23 @@ func BenchmarkScenario(b *testing.B) {
 		{"dynamic/streaming", mac.Dynamic, core.AppStreaming, 100},
 		{"dynamic/rpeak", mac.Dynamic, core.AppRpeak, 200},
 	}
-	for _, c := range cases {
-		b.Run(c.name, func(b *testing.B) {
-			b.ReportAllocs()
-			var radio float64
-			for i := 0; i < b.N; i++ {
-				res, err := core.Run(core.Config{Variant: c.variant, Nodes: 5,
-					Cycle: 30 * sim.Millisecond, App: c.app, SampleRateHz: c.fs,
-					Duration: 10 * sim.Second, Seed: int64(i + 1)})
-				if err != nil {
-					b.Fatal(err)
-				}
-				radio = res.Node().RadioMJ()
-			}
-			b.ReportMetric(radio, "radioMJ/10s")
-		})
+	b.ReportAllocs()
+	var results []runner.Result
+	for i := 0; i < b.N; i++ {
+		points := make([]runner.Point, len(cases))
+		for j, c := range cases {
+			points[j] = runner.Point{Label: c.name, Config: core.Config{
+				Variant: c.variant, Nodes: 5, Cycle: 30 * sim.Millisecond,
+				App: c.app, SampleRateHz: c.fs,
+				Duration: 10 * sim.Second, Seed: int64(i + 1)}}
+		}
+		results = runner.Run(points, runner.Options{})
+		if err := runner.FirstErr(results); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for j, c := range cases {
+		b.ReportMetric(results[j].Res.Node().RadioMJ(), c.name+"_radioMJ/10s")
 	}
 }
 
@@ -372,25 +379,27 @@ func BenchmarkAblationClockScaling(b *testing.B) {
 
 // BenchmarkPreprocessingLadder extends Figure 4 one rung further: raw
 // streaming -> per-beat packets -> per-window HRV summaries, reporting
-// each stage's total (radio+µC) energy.
+// each stage's total (radio+µC) energy. The three rungs run as one
+// runner batch per iteration.
 func BenchmarkPreprocessingLadder(b *testing.B) {
-	run := func(app core.AppKind, cycle sim.Time, fs float64, seed int64) float64 {
-		res, err := core.Run(core.Config{Variant: mac.Static, Nodes: 5,
-			Cycle: cycle, App: app, SampleRateHz: fs,
-			Duration: 60 * sim.Second, Seed: seed})
-		if err != nil {
-			b.Fatal(err)
-		}
-		return res.Node().TotalMJ()
+	point := func(label string, app core.AppKind, cycle sim.Time, fs float64, seed int64) runner.Point {
+		return runner.Point{Label: label, Config: core.Config{Variant: mac.Static,
+			Nodes: 5, Cycle: cycle, App: app, SampleRateHz: fs,
+			Duration: 60 * sim.Second, Seed: seed}}
 	}
-	var stream, rpeak, hrv float64
+	var results []runner.Result
 	for i := 0; i < b.N; i++ {
 		seed := int64(i + 1)
-		stream = run(core.AppStreaming, 30*sim.Millisecond, 205, seed)
-		rpeak = run(core.AppRpeak, 120*sim.Millisecond, 200, seed)
-		hrv = run(core.AppHRV, 120*sim.Millisecond, 200, seed)
+		results = runner.Run([]runner.Point{
+			point("streaming", core.AppStreaming, 30*sim.Millisecond, 205, seed),
+			point("rpeak", core.AppRpeak, 120*sim.Millisecond, 200, seed),
+			point("hrv", core.AppHRV, 120*sim.Millisecond, 200, seed),
+		}, runner.Options{})
+		if err := runner.FirstErr(results); err != nil {
+			b.Fatal(err)
+		}
 	}
-	b.ReportMetric(stream, "streamingMJ")
-	b.ReportMetric(rpeak, "rpeakMJ")
-	b.ReportMetric(hrv, "hrvMJ")
+	b.ReportMetric(results[0].Res.Node().TotalMJ(), "streamingMJ")
+	b.ReportMetric(results[1].Res.Node().TotalMJ(), "rpeakMJ")
+	b.ReportMetric(results[2].Res.Node().TotalMJ(), "hrvMJ")
 }

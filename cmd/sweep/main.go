@@ -3,11 +3,16 @@
 // explore cycle lengths, sampling rates, network sizes and channel
 // quality in simulation before committing hardware.
 //
+// Points are independent simulations, so the sweep fans out across
+// -workers goroutines (default: all cores). Results are written in
+// point order and are identical at any worker count; -workers 1 runs
+// fully sequentially.
+//
 // Examples:
 //
 //	sweep -mode cycle -app streaming            # cycle length sweep
 //	sweep -mode nodes -mac dynamic -app rpeak   # network size sweep
-//	sweep -mode ber -app streaming              # channel quality sweep
+//	sweep -mode ber -app streaming -workers 4   # channel quality sweep
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -22,6 +28,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/mac"
 	"repro/internal/platform"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -33,6 +40,8 @@ func main() {
 		nodes    = flag.Int("nodes", 5, "node count (fixed dimensions)")
 		duration = flag.Duration("duration", 20*time.Second, "measurement window per point")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = sequential)")
+		progress = flag.Bool("progress", false, "report per-point progress on stderr")
 	)
 	flag.Parse()
 
@@ -52,16 +61,6 @@ func main() {
 		fatalf("unknown app %q", *appName)
 	}
 
-	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
-	header := []string{"point", "radio_mJ", "mcu_mJ", "total_mJ", "avg_power_mW",
-		"pkts_sent", "pkts_acked", "ack_missed", "retries",
-		"avg_latency_ms", "max_latency_ms",
-		"collision_mJ", "idle_mJ", "overhear_mJ", "control_mJ"}
-	if err := w.Write(header); err != nil {
-		fatalf("%v", err)
-	}
-
 	base := core.Config{
 		Variant:  variant,
 		Nodes:    *nodes,
@@ -74,16 +73,100 @@ func main() {
 		base.SampleRateHz = 205
 	}
 
-	emit := func(point string, cfg core.Config) {
-		res, err := core.Run(cfg)
-		if err != nil {
-			fatalf("point %s: %v", point, err)
+	var points []runner.Point
+	add := func(label string, cfg core.Config) {
+		points = append(points, runner.Point{Label: label, Config: cfg})
+	}
+
+	switch *mode {
+	case "cycle":
+		for _, ms := range []int{20, 30, 45, 60, 90, 120, 180, 240} {
+			cfg := base
+			cfg.Cycle = sim.Time(ms) * sim.Millisecond
+			if app == core.AppStreaming {
+				// Keep the payload geometry: 12 samples per cycle.
+				cfg.SampleRateHz = 6.0 / cfg.Cycle.Seconds()
+			}
+			add(fmt.Sprintf("cycle=%dms", ms), cfg)
 		}
-		n := res.Node()
+	case "nodes":
+		for n := 1; n <= 5; n++ {
+			cfg := base
+			cfg.Nodes = n
+			if app == core.AppStreaming && variant == mac.Dynamic {
+				// Dynamic cycle = (n+1) x 10 ms; keep 12 samples/cycle.
+				cfg.SampleRateHz = 6.0 / (float64(n+1) * 0.010)
+			}
+			add(fmt.Sprintf("nodes=%d", n), cfg)
+		}
+	case "fs":
+		for _, fs := range []float64{25, 55, 70, 105, 150, 205, 300} {
+			cfg := base
+			cfg.SampleRateHz = fs
+			if app == core.AppStreaming {
+				cfg.Cycle = sim.Time(6.0 / fs * float64(sim.Second))
+			}
+			add(fmt.Sprintf("fs=%gHz", fs), cfg)
+		}
+	case "ber":
+		for _, ber := range []float64{0, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3} {
+			cfg := base
+			cfg.BER = ber
+			add(fmt.Sprintf("ber=%g", ber), cfg)
+		}
+	case "drift":
+		for _, ppm := range []float64{0, 50, 500, 5000, 15000, 30000} {
+			cfg := base
+			cfg.Cycle = 120 * sim.Millisecond
+			if app == core.AppStreaming {
+				cfg.SampleRateHz = 50
+			}
+			cfg.ClockDriftPPM = ppm
+			add(fmt.Sprintf("drift=%gppm", ppm), cfg)
+		}
+	case "clock":
+		for _, mhz := range []float64{8, 4, 2, 1, 0.5} {
+			cfg := base
+			prof := platform.IMEC()
+			prof.MCU = prof.MCU.AtClock(mhz * 1e6)
+			cfg.Profile = &prof
+			cfg.Cycle = 120 * sim.Millisecond
+			if app == core.AppStreaming {
+				cfg.SampleRateHz = 50
+			}
+			add(fmt.Sprintf("clock=%gMHz", mhz), cfg)
+		}
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+
+	opts := runner.Options{Workers: *workers}
+	if *progress {
+		opts.OnProgress = func(p runner.Progress) {
+			fmt.Fprintf(os.Stderr, "sweep: %d/%d %s (elapsed %v, eta %v)\n",
+				p.Done, p.Total, p.Label, p.Elapsed.Round(time.Millisecond), p.ETA.Round(time.Millisecond))
+		}
+	}
+	results := runner.Run(points, opts)
+	if err := runner.FirstErr(results); err != nil {
+		fatalf("point %v", err)
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	header := []string{"point", "radio_mJ", "mcu_mJ", "total_mJ", "avg_power_mW",
+		"pkts_sent", "pkts_acked", "ack_missed", "retries",
+		"avg_latency_ms", "max_latency_ms",
+		"collision_mJ", "idle_mJ", "overhear_mJ", "control_mJ"}
+	if err := w.Write(header); err != nil {
+		fatalf("%v", err)
+	}
+	for _, r := range results {
+		n := r.Res.Node()
 		total := n.RadioMJ() + n.MCUMJ()
-		secs := cfg.Duration.Seconds()
+		secs := r.Config.Duration.Seconds()
 		row := []string{
-			point,
+			r.Label,
 			f1(n.RadioMJ()), f1(n.MCUMJ()), f1(total), f3(total / secs),
 			strconv.FormatUint(n.Mac.DataSent, 10),
 			strconv.FormatUint(n.Mac.DataAcked, 10),
@@ -99,68 +182,6 @@ func main() {
 		if err := w.Write(row); err != nil {
 			fatalf("%v", err)
 		}
-	}
-
-	switch *mode {
-	case "cycle":
-		for _, ms := range []int{20, 30, 45, 60, 90, 120, 180, 240} {
-			cfg := base
-			cfg.Cycle = sim.Time(ms) * sim.Millisecond
-			if app == core.AppStreaming {
-				// Keep the payload geometry: 12 samples per cycle.
-				cfg.SampleRateHz = 6.0 / cfg.Cycle.Seconds()
-			}
-			emit(fmt.Sprintf("cycle=%dms", ms), cfg)
-		}
-	case "nodes":
-		for n := 1; n <= 5; n++ {
-			cfg := base
-			cfg.Nodes = n
-			if app == core.AppStreaming && variant == mac.Dynamic {
-				// Dynamic cycle = (n+1) x 10 ms; keep 12 samples/cycle.
-				cfg.SampleRateHz = 6.0 / (float64(n+1) * 0.010)
-			}
-			emit(fmt.Sprintf("nodes=%d", n), cfg)
-		}
-	case "fs":
-		for _, fs := range []float64{25, 55, 70, 105, 150, 205, 300} {
-			cfg := base
-			cfg.SampleRateHz = fs
-			if app == core.AppStreaming {
-				cfg.Cycle = sim.Time(6.0 / fs * float64(sim.Second))
-			}
-			emit(fmt.Sprintf("fs=%gHz", fs), cfg)
-		}
-	case "ber":
-		for _, ber := range []float64{0, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3} {
-			cfg := base
-			cfg.BER = ber
-			emit(fmt.Sprintf("ber=%g", ber), cfg)
-		}
-	case "drift":
-		for _, ppm := range []float64{0, 50, 500, 5000, 15000, 30000} {
-			cfg := base
-			cfg.Cycle = 120 * sim.Millisecond
-			if app == core.AppStreaming {
-				cfg.SampleRateHz = 50
-			}
-			cfg.ClockDriftPPM = ppm
-			emit(fmt.Sprintf("drift=%gppm", ppm), cfg)
-		}
-	case "clock":
-		for _, mhz := range []float64{8, 4, 2, 1, 0.5} {
-			cfg := base
-			prof := platform.IMEC()
-			prof.MCU = prof.MCU.AtClock(mhz * 1e6)
-			cfg.Profile = &prof
-			cfg.Cycle = 120 * sim.Millisecond
-			if app == core.AppStreaming {
-				cfg.SampleRateHz = 50
-			}
-			emit(fmt.Sprintf("clock=%gMHz", mhz), cfg)
-		}
-	default:
-		fatalf("unknown mode %q", *mode)
 	}
 }
 

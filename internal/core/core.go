@@ -111,6 +111,30 @@ func (c *Config) Validate() error {
 	if c.Variant == mac.Static && c.Cycle <= 0 {
 		return fmt.Errorf("core: static TDMA needs a positive Cycle")
 	}
+	if c.Cycle < 0 {
+		return fmt.Errorf("core: negative Cycle %v", c.Cycle)
+	}
+	// Negative times would reach the kernel as horizons or delays in the
+	// past, which it rejects by panicking; scenario files are untrusted
+	// input, so the gate is here.
+	if c.Warmup < 0 {
+		return fmt.Errorf("core: negative Warmup %v", c.Warmup)
+	}
+	if c.StartStagger < 0 {
+		return fmt.Errorf("core: negative StartStagger %v", c.StartStagger)
+	}
+	if c.SampleRateHz < 0 {
+		return fmt.Errorf("core: negative SampleRateHz %v", c.SampleRateHz)
+	}
+	if c.HeartRateBPM < 0 {
+		return fmt.Errorf("core: negative HeartRateBPM %v", c.HeartRateBPM)
+	}
+	if c.ClockDriftPPM < 0 {
+		return fmt.Errorf("core: negative ClockDriftPPM %v", c.ClockDriftPPM)
+	}
+	if c.TraceLimit < 0 {
+		return fmt.Errorf("core: negative TraceLimit %d", c.TraceLimit)
+	}
 	switch c.App {
 	case AppStreaming:
 		if c.SampleRateHz <= 0 {
@@ -141,6 +165,18 @@ func (c *Config) Validate() error {
 	}
 	if c.Burst != nil && c.BER > 0 {
 		return fmt.Errorf("core: BER and Burst are mutually exclusive")
+	}
+	if b := c.Burst; b != nil {
+		for _, p := range []float64{b.PGoodToBad, b.PBadToGood} {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("core: burst transition probability %v out of [0,1]", p)
+			}
+		}
+		for _, ber := range []float64{b.BERGood, b.BERBad} {
+			if ber < 0 || ber >= 1 {
+				return fmt.Errorf("core: burst BER %v out of [0,1)", ber)
+			}
+		}
 	}
 	if len(c.Placements) > 0 {
 		if len(c.Placements) != c.Nodes {

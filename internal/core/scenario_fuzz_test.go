@@ -1,0 +1,71 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzLoadScenario hammers the scenario JSON loader: arbitrary input
+// must either decode cleanly or return an error — never panic — and a
+// successfully decoded config must survive an encode/decode round trip
+// unchanged. The corpus is seeded from the real scenario files under
+// scenarios/, so mutations start from every construct the schema
+// actually uses (duration strings, burst models, drift).
+//
+// Run with: go test -fuzz FuzzLoadScenario ./internal/core
+func FuzzLoadScenario(f *testing.F) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(files) == 0 {
+		f.Fatal("no scenario seed files found under scenarios/")
+	}
+	for _, p := range files {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// Adversarial shapes the on-disk corpus doesn't cover.
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"mac":"csma"}`))
+	f.Add([]byte(`{"cycle":12345,"duration":9}`))
+	f.Add([]byte(`{"cycle":"-5ms","duration":"-1s","warmup":"-1s","startStagger":"-1ms"}`))
+	f.Add([]byte(`{"burst":{"pGoodToBad":1e308,"berBad":-1}}`))
+	f.Add([]byte(`{"nodes":-1,"sampleRateHz":1e999}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ConfigFromJSON(data)
+		if err != nil {
+			return // rejecting malformed input is the contract
+		}
+
+		// Re-encoding a decoded config must succeed and decode back to
+		// the same value (the schema loses nothing it accepts).
+		out, err := ConfigToJSON(cfg)
+		if err != nil {
+			t.Fatalf("ConfigToJSON failed on decoded config: %v\ninput: %q", err, data)
+		}
+		back, err := ConfigFromJSON(out)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v\nencoded: %s", err, out)
+		}
+		if !reflect.DeepEqual(cfg, back) {
+			t.Fatalf("round trip changed the config:\n was %+v\n got %+v\n encoded: %s", cfg, back, out)
+		}
+
+		// Validation applies defaults or rejects — it must not panic,
+		// and whatever it accepts must carry non-negative times (the
+		// kernel panics on negative horizons, so Validate is the gate).
+		if err := cfg.Validate(); err == nil {
+			if cfg.Duration < 0 || cfg.Warmup < 0 || cfg.Cycle < 0 || cfg.StartStagger < 0 {
+				t.Fatalf("Validate accepted negative times: %+v", cfg)
+			}
+		}
+	})
+}

@@ -2,6 +2,10 @@
 // evaluation section: it runs the event simulator and the closed-form
 // analytic model at each published sweep point and assembles the
 // comparison tables (paper Real, paper Sim, our simulator, our analytic).
+//
+// Simulation points are independent, so each regeneration batches its
+// grid through the parallel runner (Options.Workers); results are
+// identical at any worker count.
 package experiments
 
 import (
@@ -12,6 +16,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/paperdata"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -22,6 +27,10 @@ type Options struct {
 	// Duration overrides the paper's 60 s window (0 keeps it). Shorter
 	// windows speed up smoke runs; energies scale almost linearly.
 	Duration sim.Time
+	// Workers is the number of concurrent simulations (0 = all cores,
+	// 1 = sequential). Worker count never changes the numbers, only the
+	// wall-clock time.
+	Workers int
 }
 
 func (o Options) window() sim.Time {
@@ -63,8 +72,8 @@ func specFor(id string) (tableSpec, error) {
 // TableIDs lists the reproducible tables in paper order.
 func TableIDs() []string { return []string{"table1", "table2", "table3", "table4"} }
 
-// runRow executes one sweep point on the event simulator.
-func runRow(spec tableSpec, row paperdata.Row, o Options) (core.NodeResult, error) {
+// rowConfig shapes one sweep point's scenario.
+func rowConfig(spec tableSpec, row paperdata.Row, o Options) core.Config {
 	cfg := core.Config{
 		Variant:      spec.variant,
 		Nodes:        row.Nodes,
@@ -76,14 +85,35 @@ func runRow(spec tableSpec, row paperdata.Row, o Options) (core.NodeResult, erro
 	if spec.variant == mac.Static {
 		cfg.Cycle = row.Cycle
 	}
-	res, err := core.Run(cfg)
-	if err != nil {
-		return core.NodeResult{}, err
+	return cfg
+}
+
+// gridPoint pairs a runner point with the table row it came from.
+type gridPoint struct {
+	spec tableSpec
+	row  paperdata.Row
+}
+
+// simulateGrid fans the points out across the runner and returns the
+// reference node's result per point, in input order. Every point must
+// have completed its joins by measurement start.
+func simulateGrid(grid []gridPoint, o Options) ([]core.NodeResult, error) {
+	points := make([]runner.Point, len(grid))
+	for i, g := range grid {
+		points[i] = runner.Point{Label: g.row.Label, Config: rowConfig(g.spec, g.row, o)}
 	}
-	if !res.JoinedAll {
-		return core.NodeResult{}, fmt.Errorf("experiments: join incomplete for %s", row.Label)
+	results := runner.Run(points, runner.Options{Workers: o.Workers})
+	if err := runner.FirstErr(results); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	return res.Node(), nil
+	out := make([]core.NodeResult, len(results))
+	for i, r := range results {
+		if !r.Res.JoinedAll {
+			return nil, fmt.Errorf("experiments: join incomplete for %s", r.Label)
+		}
+		out[i] = r.Res.Node()
+	}
+	return out, nil
 }
 
 // analyticRow evaluates the closed-form model at one sweep point.
@@ -104,22 +134,16 @@ func (o Options) scale() float64 {
 	return float64(paperdata.Window) / float64(o.window())
 }
 
-// Reproduce regenerates one published table.
-func Reproduce(id string, o Options) (report.TableReport, error) {
-	spec, err := specFor(id)
-	if err != nil {
-		return report.TableReport{}, err
-	}
+// assembleTable builds one comparison table from the per-row simulator
+// results (the analytic model is cheap and runs inline).
+func assembleTable(spec tableSpec, sims []core.NodeResult, o Options) (report.TableReport, error) {
 	out := report.TableReport{ID: spec.data.ID, Caption: spec.data.Caption}
-	for _, row := range spec.data.Rows {
-		nr, err := runRow(spec, row, o)
-		if err != nil {
-			return report.TableReport{}, err
-		}
+	for i, row := range spec.data.Rows {
 		an, err := analyticRow(spec, row, o)
 		if err != nil {
 			return report.TableReport{}, err
 		}
+		nr := sims[i]
 		s := o.scale()
 		out.Rows = append(out.Rows, report.Comparison{
 			Label:           row.Label,
@@ -137,15 +161,54 @@ func Reproduce(id string, o Options) (report.TableReport, error) {
 	return out, nil
 }
 
-// ReproduceAll regenerates the four tables.
+// Reproduce regenerates one published table, its rows fanned out across
+// the runner.
+func Reproduce(id string, o Options) (report.TableReport, error) {
+	spec, err := specFor(id)
+	if err != nil {
+		return report.TableReport{}, err
+	}
+	grid := make([]gridPoint, len(spec.data.Rows))
+	for i, row := range spec.data.Rows {
+		grid[i] = gridPoint{spec, row}
+	}
+	sims, err := simulateGrid(grid, o)
+	if err != nil {
+		return report.TableReport{}, err
+	}
+	return assembleTable(spec, sims, o)
+}
+
+// ReproduceAll regenerates the four tables. All rows of all tables are
+// flattened into a single runner batch, so the full evaluation grid
+// (18 simulations) keeps every worker busy.
 func ReproduceAll(o Options) ([]report.TableReport, error) {
-	var out []report.TableReport
+	var grid []gridPoint
+	var specs []tableSpec
 	for _, id := range TableIDs() {
-		t, err := Reproduce(id, o)
+		spec, err := specFor(id)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+		for _, row := range spec.data.Rows {
+			grid = append(grid, gridPoint{spec, row})
+		}
+	}
+	sims, err := simulateGrid(grid, o)
+	if err != nil {
+		return nil, err
+	}
+	var out []report.TableReport
+	off := 0
+	for _, spec := range specs {
+		n := len(spec.data.Rows)
+		t, err := assembleTable(spec, sims[off:off+n], o)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, t)
+		off += n
 	}
 	return out, nil
 }
@@ -156,17 +219,16 @@ func ReproduceAll(o Options) ([]report.TableReport, error) {
 func Figure4(o Options) ([]report.Bar, error) {
 	sSpec, _ := specFor("table1")
 	rSpec, _ := specFor("table3")
-	stream, err := runRow(sSpec, paperdata.Table1().Rows[0], o)
-	if err != nil {
-		return nil, err
-	}
-	rp, err := runRow(rSpec, paperdata.Table3().Rows[3], o)
+	sims, err := simulateGrid([]gridPoint{
+		{sSpec, paperdata.Table1().Rows[0]},
+		{rSpec, paperdata.Table3().Rows[3]},
+	}, o)
 	if err != nil {
 		return nil, err
 	}
 	s := o.scale()
 	return []report.Bar{
-		{Label: "ECG streaming (30ms)", RadioMJ: stream.RadioMJ() * s, MCUMJ: stream.MCUMJ() * s},
-		{Label: "Rpeak on node (120ms)", RadioMJ: rp.RadioMJ() * s, MCUMJ: rp.MCUMJ() * s},
+		{Label: "ECG streaming (30ms)", RadioMJ: sims[0].RadioMJ() * s, MCUMJ: sims[0].MCUMJ() * s},
+		{Label: "Rpeak on node (120ms)", RadioMJ: sims[1].RadioMJ() * s, MCUMJ: sims[1].MCUMJ() * s},
 	}, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -58,6 +59,27 @@ func TestReproduceAllFast(t *testing.T) {
 				t.Fatalf("%s/%s has empty columns: %+v", tab.ID, r.Label, r)
 			}
 		}
+	}
+}
+
+// TestWorkersDoNotChangeTables: the regenerated table is deep-equal
+// whether its rows run sequentially or fanned out — the experiments
+// layer inherits the runner's determinism contract.
+func TestWorkersDoNotChangeTables(t *testing.T) {
+	seq := fast
+	seq.Workers = 1
+	par := fast
+	par.Workers = 4
+	a, err := Reproduce("table1", seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Reproduce("table1", par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("table1 differs between workers=1 and workers=4:\n%+v\n%+v", a, b)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mac"
 	"repro/internal/platform"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -28,77 +29,68 @@ type ExtensionResults struct {
 	StreamingTotalMJ, RpeakTotalMJ, HRVTotalMJ float64
 }
 
-// Extensions runs the extension experiments at the given options.
+// Extensions runs the extension experiments at the given options. The
+// nine underlying simulations are independent, so they go through the
+// runner as one batch.
 func Extensions(o Options) (ExtensionResults, error) {
 	var out ExtensionResults
-	run := func(cfg core.Config) (core.NodeResult, error) {
+	add := func(points []runner.Point, label string, cfg core.Config) []runner.Point {
 		cfg.Duration = o.window()
 		cfg.Seed = o.seed()
-		res, err := core.Run(cfg)
-		if err != nil {
-			return core.NodeResult{}, err
-		}
-		return res.Node(), nil
+		return append(points, runner.Point{Label: label, Config: cfg})
 	}
 
-	hi, err := run(core.Config{Variant: mac.Static, Nodes: 5, Cycle: 30 * sim.Millisecond,
-		App: core.AppStreaming, SampleRateHz: 205})
-	if err != nil {
-		return out, err
+	var points []runner.Point
+	points = add(points, "streaming-hi", core.Config{Variant: mac.Static, Nodes: 5,
+		Cycle: 30 * sim.Millisecond, App: core.AppStreaming, SampleRateHz: 205})
+	points = add(points, "streaming-lo", core.Config{Variant: mac.Static, Nodes: 5,
+		Cycle: 120 * sim.Millisecond, App: core.AppStreaming, SampleRateHz: 55})
+
+	driftCfg := core.Config{Variant: mac.Static, Nodes: 1, Cycle: 120 * sim.Millisecond,
+		App: core.AppStreaming, SampleRateHz: 55}
+	driftCfg.ClockDriftPPM = 50
+	points = add(points, "drift-crystal", driftCfg)
+	driftCfg.ClockDriftPPM = 30000
+	points = add(points, "drift-dco", driftCfg)
+
+	profiles := make([]platform.Profile, 3)
+	for i, hz := range []float64{8e6, 4e6, 1e6} {
+		profiles[i] = platform.IMEC()
+		profiles[i].MCU = profiles[i].MCU.AtClock(hz)
+		points = add(points, fmt.Sprintf("clock-%gMHz", hz/1e6),
+			core.Config{Variant: mac.Static, Nodes: 1, Cycle: 120 * sim.Millisecond,
+				App: core.AppRpeak, Profile: &profiles[i]})
 	}
-	lo, err := run(core.Config{Variant: mac.Static, Nodes: 5, Cycle: 120 * sim.Millisecond,
-		App: core.AppStreaming, SampleRateHz: 55})
-	if err != nil {
-		return out, err
+
+	points = add(points, "ladder-rpeak", core.Config{Variant: mac.Static, Nodes: 5,
+		Cycle: 120 * sim.Millisecond, App: core.AppRpeak})
+	points = add(points, "ladder-hrv", core.Config{Variant: mac.Static, Nodes: 5,
+		Cycle: 120 * sim.Millisecond, App: core.AppHRV})
+
+	results := runner.Run(points, runner.Options{Workers: o.Workers})
+	if err := runner.FirstErr(results); err != nil {
+		return out, fmt.Errorf("experiments: %w", err)
 	}
+	node := func(i int) core.NodeResult { return results[i].Res.Node() }
+
+	hi, lo := node(0), node(1)
 	out.MCUShareHighHz = hi.MCUMJ() / hi.TotalMJ() * 100
 	out.MCUShareLowHz = lo.MCUMJ() / lo.TotalMJ() * 100
 	out.ControlShare = hi.Energy.Losses["control-overhead"] * 1e3 / hi.RadioMJ() * 100
 	out.StreamingTotalMJ = hi.TotalMJ() * o.scale()
 
-	driftCfg := core.Config{Variant: mac.Static, Nodes: 1, Cycle: 120 * sim.Millisecond,
-		App: core.AppStreaming, SampleRateHz: 55}
-	driftCfg.ClockDriftPPM = 50
-	crystal, err := run(driftCfg)
-	if err != nil {
-		return out, err
-	}
-	driftCfg.ClockDriftPPM = 30000
-	dco, err := run(driftCfg)
-	if err != nil {
-		return out, err
-	}
+	crystal, dco := node(2), node(3)
 	out.CrystalRadioMJ = crystal.RadioMJ() * o.scale()
 	out.DCORadioMJ = dco.RadioMJ() * o.scale()
 	out.CrystalMissed = crystal.Mac.BeaconsMissed
 	out.DCOMissed = dco.Mac.BeaconsMissed
 
-	for _, c := range []struct {
-		hz   float64
-		dest *float64
-	}{{8e6, &out.MCU8MHz}, {4e6, &out.MCU4MHz}, {1e6, &out.MCU1MHz}} {
-		prof := platform.IMEC()
-		prof.MCU = prof.MCU.AtClock(c.hz)
-		n, err := run(core.Config{Variant: mac.Static, Nodes: 1, Cycle: 120 * sim.Millisecond,
-			App: core.AppRpeak, Profile: &prof})
-		if err != nil {
-			return out, err
-		}
-		*c.dest = n.MCUMJ() * o.scale()
-	}
+	out.MCU8MHz = node(4).MCUMJ() * o.scale()
+	out.MCU4MHz = node(5).MCUMJ() * o.scale()
+	out.MCU1MHz = node(6).MCUMJ() * o.scale()
 
-	rp, err := run(core.Config{Variant: mac.Static, Nodes: 5, Cycle: 120 * sim.Millisecond,
-		App: core.AppRpeak})
-	if err != nil {
-		return out, err
-	}
-	hrv, err := run(core.Config{Variant: mac.Static, Nodes: 5, Cycle: 120 * sim.Millisecond,
-		App: core.AppHRV})
-	if err != nil {
-		return out, err
-	}
-	out.RpeakTotalMJ = rp.TotalMJ() * o.scale()
-	out.HRVTotalMJ = hrv.TotalMJ() * o.scale()
+	out.RpeakTotalMJ = node(7).TotalMJ() * o.scale()
+	out.HRVTotalMJ = node(8).TotalMJ() * o.scale()
 	return out, nil
 }
 

@@ -1,0 +1,90 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mac"
+	"repro/internal/sim"
+)
+
+// cycleSweep builds the canonical design-space grid: a 16-point
+// cycle-length sweep of the 5-node streaming BAN, payload geometry held
+// at 12 samples per cycle as in cmd/sweep.
+func cycleSweep(seed int64, points int) []Point {
+	out := make([]Point, 0, points)
+	for i := 0; i < points; i++ {
+		ms := 20 + 10*i
+		cycle := sim.Time(ms) * sim.Millisecond
+		out = append(out, Point{
+			Label: fmt.Sprintf("cycle=%dms", ms),
+			Config: core.Config{
+				Variant:      mac.Static,
+				Nodes:        5,
+				Cycle:        cycle,
+				App:          core.AppStreaming,
+				SampleRateHz: 6.0 / cycle.Seconds(),
+				Duration:     4 * sim.Second,
+				Seed:         seed,
+			},
+		})
+	}
+	return out
+}
+
+// BenchmarkCycleSweep measures the 16-point cycle-length sweep at
+// increasing worker counts. On an N-core host the points/s metric should
+// scale near-linearly until workers reach min(N, 16); with GOMAXPROCS=1
+// all counts degenerate to sequential throughput.
+func BenchmarkCycleSweep(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				points := cycleSweep(int64(i+1), 16)
+				results := Run(points, Options{Workers: workers})
+				if err := FirstErr(results); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(16*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}
+
+// TestParallelSpeedup demonstrates the runner's reason to exist: on a
+// multi-core host, 4 workers complete a 16-point sweep at least 2x
+// faster than 1 worker. Skipped on boxes without enough parallelism to
+// make the bound meaningful.
+func TestParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if p := runtime.GOMAXPROCS(0); p < 4 {
+		t.Skipf("GOMAXPROCS=%d: need >=4 cores for a meaningful speedup bound", p)
+	}
+	points := cycleSweep(1, 16)
+
+	seqStart := time.Now()
+	seq := Run(points, Options{Workers: 1})
+	seqDur := time.Since(seqStart)
+	if err := FirstErr(seq); err != nil {
+		t.Fatal(err)
+	}
+
+	parStart := time.Now()
+	par := Run(points, Options{Workers: 4})
+	parDur := time.Since(parStart)
+	if err := FirstErr(par); err != nil {
+		t.Fatal(err)
+	}
+
+	speedup := float64(seqDur) / float64(parDur)
+	t.Logf("sequential %v, 4 workers %v: %.2fx", seqDur, parDur, speedup)
+	if speedup < 2 {
+		t.Errorf("speedup %.2fx < 2x on a %d-core host", speedup, runtime.GOMAXPROCS(0))
+	}
+}

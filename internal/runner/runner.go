@@ -1,0 +1,218 @@
+// Package runner executes batches of independent simulation points
+// across a pool of worker goroutines.
+//
+// The paper's argument for simulation over hardware measurement is
+// design-space exploration speed (§4–§5): sweeping cycle lengths,
+// sampling rates, network sizes and channel models over a grid of
+// scenarios. Each point is one core.Run — a complete simulation owning
+// its private kernel, RNG, channel and nodes — so points are
+// embarrassingly parallel. The runner exploits that while preserving the
+// framework's determinism contract:
+//
+//   - A point's outcome depends only on its Config (including its Seed),
+//     never on the worker that ran it, the number of workers, or the
+//     completion order of other points. Equal batches produce deep-equal
+//     result slices at any worker count.
+//   - Results are collected in input order: out[i] always corresponds to
+//     points[i], regardless of which point finished first.
+//   - A panic inside one point is recovered and converted into that
+//     point's error result instead of killing the whole sweep.
+//
+// Run with the race detector ("make race") to verify the isolation
+// assumption against the actual model code.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Point is one experiment in a batch: a label for reporting plus the
+// complete scenario configuration.
+type Point struct {
+	// Label names the point in results and progress output
+	// (e.g. "cycle=30ms").
+	Label string
+	// Config is the scenario, passed to core.Run verbatim. The Seed it
+	// carries fully determines the point's random streams; use DeriveSeed
+	// to give replicated points well-separated seeds.
+	Config core.Config
+}
+
+// Result is the outcome of one point.
+type Result struct {
+	// Index is the point's position in the input slice; Run returns
+	// results sorted by it.
+	Index int
+	// Label echoes Point.Label.
+	Label string
+	// Config echoes Point.Config.
+	Config core.Config
+	// Res holds the simulation outcome when Err is nil.
+	Res core.Results
+	// Err is the point's failure: a validation/run error from core.Run,
+	// or a wrapped panic recovered from the model code.
+	Err error
+}
+
+// Progress is a snapshot handed to the OnProgress callback after each
+// point completes.
+type Progress struct {
+	// Done counts completed points (including failed ones); Total is the
+	// batch size.
+	Done, Total int
+	// Label names the point that just finished.
+	Label string
+	// Elapsed is wall-clock time since Run started.
+	Elapsed time.Duration
+	// ETA estimates the remaining wall-clock time from the mean
+	// per-point rate so far (0 when Done == Total).
+	ETA time.Duration
+}
+
+// Options tunes a batch run.
+type Options struct {
+	// Workers is the number of concurrent simulations. Zero or negative
+	// selects runtime.GOMAXPROCS(0). Workers == 1 runs the batch inline
+	// on the calling goroutine — exactly the pre-runner sequential
+	// behaviour.
+	Workers int
+	// OnProgress, when non-nil, is called after each point completes.
+	// Calls are serialised (never concurrent) but may arrive from worker
+	// goroutines in completion order, which is not input order.
+	OnProgress func(Progress)
+	// Exec overrides the function executed per point. Nil selects
+	// core.Run. Tests use it to inject failures; alternative backends
+	// (e.g. the analytic model) can slot in here.
+	Exec func(core.Config) (core.Results, error)
+}
+
+func (o Options) workers(points int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > points {
+		w = points
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (o Options) exec() func(core.Config) (core.Results, error) {
+	if o.Exec != nil {
+		return o.Exec
+	}
+	return core.Run
+}
+
+// Run executes every point and returns one Result per point, in input
+// order. It blocks until the whole batch has completed; failed points
+// carry their error in Result.Err and never abort the rest of the batch.
+func Run(points []Point, opts Options) []Result {
+	results := make([]Result, len(points))
+	if len(points) == 0 {
+		return results
+	}
+	exec := opts.exec()
+	workers := opts.workers(len(points))
+
+	start := time.Now()
+	var mu sync.Mutex // serialises done counting + OnProgress
+	done := 0
+	finish := func(i int) {
+		if opts.OnProgress == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		elapsed := time.Since(start)
+		var eta time.Duration
+		if rest := len(points) - done; rest > 0 {
+			eta = elapsed / time.Duration(done) * time.Duration(rest)
+		}
+		opts.OnProgress(Progress{
+			Done:    done,
+			Total:   len(points),
+			Label:   points[i].Label,
+			Elapsed: elapsed,
+			ETA:     eta,
+		})
+	}
+
+	if workers == 1 {
+		for i := range points {
+			results[i] = runPoint(exec, points, i)
+			finish(i)
+		}
+		return results
+	}
+
+	// Workers pull indices from a channel and write to disjoint slots of
+	// the pre-allocated results slice, so collection is ordered and
+	// lock-free by construction.
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runPoint(exec, points, i)
+				finish(i)
+			}
+		}()
+	}
+	for i := range points {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runPoint executes one point, converting a model panic into an error so
+// a single bad configuration cannot kill a thousand-point sweep.
+func runPoint(exec func(core.Config) (core.Results, error), points []Point, i int) (r Result) {
+	p := points[i]
+	r = Result{Index: i, Label: p.Label, Config: p.Config}
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.Err = fmt.Errorf("runner: point %d (%s) panicked: %v", i, p.Label, rec)
+		}
+	}()
+	r.Res, r.Err = exec(p.Config)
+	return r
+}
+
+// FirstErr returns the first failed result in input order, or nil when
+// the whole batch succeeded. Sweep commands use it to fail fast with a
+// point-attributed message.
+func FirstErr(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Label, r.Err)
+		}
+	}
+	return nil
+}
+
+// DeriveSeed maps a batch base seed and a point index to a
+// well-separated per-point seed. The mapping is a fixed bijective mixing
+// function (splitmix64 finaliser), so replicated points get
+// decorrelated random streams while the whole batch stays reproducible
+// from the single base seed. DeriveSeed(base, i) never depends on worker
+// count or scheduling.
+func DeriveSeed(base int64, index int) int64 {
+	z := uint64(base) + uint64(index)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property-style invariant tests for the kernel: randomized workloads of
+// schedules and cancels, with the three guarantees every model layer
+// leans on checked after (and during) each run:
+//
+//  1. events scheduled at the same instant fire in FIFO seq order,
+//  2. a cancelled event never fires,
+//  3. virtual time never moves backwards.
+//
+// The parallel experiment runner makes these guarantees load-bearing in
+// a new way: they are what lets a (Config, Seed) pair fully determine a
+// run regardless of which worker executes it.
+
+// TestInvariantSameInstantFIFO schedules many handlers at a handful of
+// instants, in shuffled submission order per instant group, and asserts
+// that within each instant the firing order equals the scheduling order.
+func TestInvariantSameInstantFIFO(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		k := NewKernel(1)
+
+		instants := []Time{0, 3 * Millisecond, 3 * Millisecond, 7 * Millisecond, Second}
+		type firing struct {
+			at    Time
+			order int // submission order across the whole workload
+		}
+		var fired []firing
+		n := 100 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			i := i
+			at := instants[rng.Intn(len(instants))]
+			k.ScheduleAt(at, func(k *Kernel) {
+				fired = append(fired, firing{at: k.Now(), order: i})
+			})
+		}
+		k.Run()
+
+		if len(fired) != n {
+			t.Fatalf("trial %d: fired %d of %d events", trial, len(fired), n)
+		}
+		// Within one instant, submission order must be preserved.
+		lastOrder := map[Time]int{}
+		for _, f := range fired {
+			if prev, seen := lastOrder[f.at]; seen && f.order < prev {
+				t.Fatalf("trial %d: FIFO violated at %v: order %d fired after %d",
+					trial, f.at, f.order, prev)
+			}
+			lastOrder[f.at] = f.order
+		}
+	}
+}
+
+// TestInvariantCancelledNeverFires runs a randomized workload in which a
+// third of the events are cancelled — some before their instant, some
+// from inside handlers at their own instant — and asserts none of them
+// fire.
+func TestInvariantCancelledNeverFires(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		k := NewKernel(1)
+
+		fired := map[EventID]bool{}
+		cancelled := map[EventID]bool{}
+		var ids []EventID
+		n := 50 + rng.Intn(150)
+		for i := 0; i < n; i++ {
+			at := Time(rng.Intn(20)) * Millisecond
+			var id EventID
+			id = k.ScheduleAt(at, func(*Kernel) { fired[id] = true })
+			ids = append(ids, id)
+		}
+		// Cancel a random third up front.
+		for _, id := range ids {
+			if rng.Intn(3) == 0 {
+				if k.Cancel(id) {
+					cancelled[id] = true
+				}
+			}
+		}
+		// And sprinkle in-flight cancels: handlers that cancel a random
+		// other event when they run (same instant or later).
+		for i := 0; i < 20; i++ {
+			victim := ids[rng.Intn(len(ids))]
+			k.ScheduleAt(Time(rng.Intn(20))*Millisecond, func(*Kernel) {
+				if !fired[victim] && k.Cancel(victim) {
+					cancelled[victim] = true
+				}
+			})
+		}
+		k.Run()
+
+		for id := range cancelled {
+			if fired[id] {
+				t.Fatalf("trial %d: cancelled event %d fired", trial, id)
+			}
+		}
+		if k.Pending() != 0 {
+			t.Fatalf("trial %d: %d events still pending after Run", trial, k.Pending())
+		}
+	}
+}
+
+// TestInvariantTimeMonotonic drives a workload whose handlers schedule
+// random follow-ups and cancels (the shape real MAC/timer code has) and
+// asserts Now never decreases, across handlers and kernel accessors.
+func TestInvariantTimeMonotonic(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(2000 + trial)))
+		k := NewKernel(1)
+
+		last := Time(-1)
+		var live []EventID
+		executed := 0
+		var handler Handler
+		handler = func(k *Kernel) {
+			executed++
+			if k.Now() < last {
+				t.Fatalf("trial %d: time moved backwards: %v after %v", trial, k.Now(), last)
+			}
+			last = k.Now()
+			// Random follow-ups keep the queue busy for a while.
+			if executed < 2000 {
+				for i := 0; i < rng.Intn(3); i++ {
+					live = append(live, k.Schedule(Time(rng.Intn(5))*Millisecond, handler))
+				}
+				if len(live) > 0 && rng.Intn(2) == 0 {
+					k.Cancel(live[rng.Intn(len(live))])
+				}
+			}
+		}
+		for i := 0; i < 10; i++ {
+			live = append(live, k.Schedule(Time(rng.Intn(10))*Millisecond, handler))
+		}
+		k.RunUntil(10 * Second)
+
+		if got := k.Now(); got != 10*Second {
+			t.Fatalf("trial %d: RunUntil left Now at %v, want horizon", trial, got)
+		}
+		if executed == 0 {
+			t.Fatalf("trial %d: workload executed nothing", trial)
+		}
+	}
+}
+
+// TestInvariantExecutedMatchesFired cross-checks the kernel's own
+// executed counter against an externally counted randomized workload
+// with cancellations.
+func TestInvariantExecutedMatchesFired(t *testing.T) {
+	rng := rand.New(rand.NewSource(3000))
+	k := NewKernel(1)
+	fired := 0
+	var ids []EventID
+	const n = 500
+	for i := 0; i < n; i++ {
+		ids = append(ids, k.ScheduleAt(Time(rng.Intn(100))*Millisecond, func(*Kernel) { fired++ }))
+	}
+	cancels := 0
+	for _, id := range ids {
+		if rng.Intn(4) == 0 && k.Cancel(id) {
+			cancels++
+		}
+	}
+	k.Run()
+	if fired != n-cancels {
+		t.Fatalf("fired %d, want %d (%d cancelled)", fired, n-cancels, cancels)
+	}
+	if int(k.Executed()) != fired {
+		t.Fatalf("Executed()=%d, observed %d firings", k.Executed(), fired)
+	}
+}
