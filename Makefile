@@ -19,9 +19,12 @@ test:
 	$(GO) test ./...
 
 # The runner executes many simulations concurrently; the kernel, core
-# façade and runner itself must stay race-clean under the detector.
+# façade and runner itself must stay race-clean under the detector, and
+# so must everything the fault injector reaches into mid-run (MAC state
+# machines and the shared medium).
 race:
-	$(GO) test -race ./internal/runner ./internal/sim ./internal/core
+	$(GO) test -race ./internal/runner ./internal/sim ./internal/core \
+		./internal/fault ./internal/mac ./internal/channel
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

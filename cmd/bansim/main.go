@@ -5,6 +5,10 @@
 //
 //	bansim -app streaming -mac static -nodes 5 -cycle 30ms -fs 205 -duration 60s
 //	bansim -app rpeak -mac dynamic -nodes 3 -duration 60s -format json
+//	bansim -app streaming -mac dynamic -nodes 3 -fs 205 -duration 20s \
+//	    -crash 2@8s+3s -reclaim 10
+//	bansim -app streaming -nodes 2 -cycle 30ms -fs 205 \
+//	    -blackout "node1>bs@5s-6s" -jam 9s-9.5s
 package main
 
 import (
@@ -12,14 +16,93 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/mac"
 	"repro/internal/platform"
+	"repro/internal/report"
 	"repro/internal/sim"
 )
+
+// parseSpan parses "5s-6s" into a start/end instant pair.
+func parseSpan(s string) (from, to sim.Time, err error) {
+	lo, hi, ok := strings.Cut(s, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("want <start>-<end>, got %q", s)
+	}
+	dlo, err := time.ParseDuration(lo)
+	if err != nil {
+		return 0, 0, err
+	}
+	dhi, err := time.ParseDuration(hi)
+	if err != nil {
+		return 0, 0, err
+	}
+	return sim.FromDuration(dlo), sim.FromDuration(dhi), nil
+}
+
+// faultFlags collects repeatable -crash/-blackout/-jam specifications.
+func faultFlags(faults *[]fault.Fault) {
+	flag.Func("crash", "crash spec <node>@<at>[+<outage>], e.g. 2@10s+2s (repeatable)",
+		func(s string) error {
+			nodePart, rest, ok := strings.Cut(s, "@")
+			if !ok {
+				return fmt.Errorf("want <node>@<at>[+<outage>], got %q", s)
+			}
+			id, err := strconv.ParseUint(nodePart, 10, 8)
+			if err != nil {
+				return fmt.Errorf("bad node %q: %v", nodePart, err)
+			}
+			atPart, outagePart, hasReboot := strings.Cut(rest, "+")
+			at, err := time.ParseDuration(atPart)
+			if err != nil {
+				return err
+			}
+			f := fault.Fault{Kind: fault.KindCrash, Node: uint8(id), At: sim.FromDuration(at)}
+			if hasReboot {
+				outage, err := time.ParseDuration(outagePart)
+				if err != nil {
+					return err
+				}
+				f.RebootAfter = sim.FromDuration(outage)
+			}
+			*faults = append(*faults, f)
+			return nil
+		})
+	flag.Func("blackout", "link blackout <from>><to>@<start>-<end>, e.g. node1>bs@5s-6s (repeatable)",
+		func(s string) error {
+			path, span, ok := strings.Cut(s, "@")
+			if !ok {
+				return fmt.Errorf("want <from>><to>@<start>-<end>, got %q", s)
+			}
+			from, to, ok := strings.Cut(path, ">")
+			if !ok {
+				return fmt.Errorf("want <from>><to>, got %q", path)
+			}
+			at, until, err := parseSpan(span)
+			if err != nil {
+				return err
+			}
+			*faults = append(*faults, fault.Fault{
+				Kind: fault.KindBlackout, From: from, To: to, At: at, Until: until,
+			})
+			return nil
+		})
+	flag.Func("jam", "interference burst <start>-<end>, e.g. 9s-9.5s (repeatable)",
+		func(s string) error {
+			at, until, err := parseSpan(s)
+			if err != nil {
+				return err
+			}
+			*faults = append(*faults, fault.Fault{Kind: fault.KindInterference, At: at, Until: until})
+			return nil
+		})
+}
 
 func main() {
 	var (
@@ -35,7 +118,10 @@ func main() {
 		ber      = flag.Float64("ber", 0, "per-bit error probability on every link")
 		format   = flag.String("format", "text", "output format: text | json")
 		confPath = flag.String("config", "", "JSON scenario file (overrides the other flags)")
+		reclaim  = flag.Int("reclaim", 0, "free a silent node's slot after this many beacon cycles (0 = never)")
 	)
+	var faults []fault.Fault
+	faultFlags(&faults)
 	flag.Parse()
 
 	if *confPath != "" {
@@ -46,6 +132,12 @@ func main() {
 		cfg, err := core.ConfigFromJSON(data)
 		if err != nil {
 			fatalf("%v", err)
+		}
+		// Fault flags compose with a scenario file: they append to its
+		// schedule rather than replacing it.
+		cfg.Faults = append(cfg.Faults, faults...)
+		if *reclaim > 0 {
+			cfg.SlotReclaimCycles = *reclaim
 		}
 		res, err := core.Run(cfg)
 		if err != nil {
@@ -83,16 +175,18 @@ func main() {
 	}
 
 	cfg := core.Config{
-		Variant:      variant,
-		Nodes:        *nodes,
-		Cycle:        sim.FromDuration(*cycle),
-		App:          app,
-		SampleRateHz: *fs,
-		HeartRateBPM: *hr,
-		Duration:     sim.FromDuration(*duration),
-		Warmup:       sim.FromDuration(*warmup),
-		Seed:         *seed,
-		BER:          *ber,
+		Variant:           variant,
+		Nodes:             *nodes,
+		Cycle:             sim.FromDuration(*cycle),
+		App:               app,
+		SampleRateHz:      *fs,
+		HeartRateBPM:      *hr,
+		Duration:          sim.FromDuration(*duration),
+		Warmup:            sim.FromDuration(*warmup),
+		Seed:              *seed,
+		BER:               *ber,
+		Faults:            faults,
+		SlotReclaimCycles: *reclaim,
 	}
 	res, err := core.Run(cfg)
 	if err != nil {
@@ -151,11 +245,24 @@ func printText(res core.Results) {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("base station: beacons=%d data=%d acks=%d ssr=%d\n",
+	fmt.Printf("base station: beacons=%d data=%d acks=%d ssr=%d reclaimed=%d\n",
 		res.BSStats.BeaconsSent, res.BSStats.DataReceived,
-		res.BSStats.AcksSent, res.BSStats.SSRReceived)
-	fmt.Printf("channel: tx=%d collisions=%d corrupt=%d\n",
-		res.Channel.Transmissions, res.Channel.Collisions, res.Channel.CorruptCopies)
+		res.BSStats.AcksSent, res.BSStats.SSRReceived, res.BSStats.SlotsReclaimed)
+	fmt.Printf("channel: tx=%d collisions=%d corrupt=%d jammed=%d blackout=%d\n",
+		res.Channel.Transmissions, res.Channel.Collisions, res.Channel.CorruptCopies,
+		res.Channel.JammedFrames, res.Channel.BlackoutDrops)
+	avail := make([]report.NodeAvailability, 0, len(res.Nodes))
+	for _, n := range res.Nodes {
+		avail = append(avail, report.NodeAvailability{
+			Name:          n.Name,
+			Availability:  n.Availability,
+			DeliveryRatio: n.DeliveryRatio,
+		})
+	}
+	if s := report.RenderResilience(avail, res.Faults, res.BSStats.SlotsReclaimed); s != "" {
+		fmt.Println()
+		fmt.Print(s)
+	}
 }
 
 func orderedStates(c energy.ComponentReport) []energy.State {
@@ -177,38 +284,46 @@ func orderedStates(c energy.ComponentReport) []energy.State {
 type jsonResult struct {
 	Nodes []jsonNode `json:"nodes"`
 	BS    struct {
-		Beacons uint64 `json:"beacons"`
-		Data    uint64 `json:"dataReceived"`
+		Beacons   uint64 `json:"beacons"`
+		Data      uint64 `json:"dataReceived"`
+		Reclaimed uint64 `json:"slotsReclaimed"`
 	} `json:"baseStation"`
-	Collisions uint64 `json:"collisions"`
-	JoinedAll  bool   `json:"joinedAll"`
+	Collisions uint64          `json:"collisions"`
+	JoinedAll  bool            `json:"joinedAll"`
+	Faults     []fault.Outcome `json:"faults,omitempty"`
 }
 
 type jsonNode struct {
-	Name    string             `json:"name"`
-	RadioMJ float64            `json:"radioMJ"`
-	MCUMJ   float64            `json:"mcuMJ"`
-	ASICMJ  float64            `json:"asicMJ"`
-	Losses  map[string]float64 `json:"lossesMJ"`
-	Sent    uint64             `json:"dataSent"`
-	Acked   uint64             `json:"dataAcked"`
-	Beats   uint64             `json:"beats,omitempty"`
+	Name         string             `json:"name"`
+	RadioMJ      float64            `json:"radioMJ"`
+	MCUMJ        float64            `json:"mcuMJ"`
+	ASICMJ       float64            `json:"asicMJ"`
+	Losses       map[string]float64 `json:"lossesMJ"`
+	Sent         uint64             `json:"dataSent"`
+	Acked        uint64             `json:"dataAcked"`
+	Beats        uint64             `json:"beats,omitempty"`
+	Availability float64            `json:"availability"`
+	Delivery     float64            `json:"deliveryRatio"`
 }
 
 func printJSON(res core.Results) {
-	out := jsonResult{JoinedAll: res.JoinedAll, Collisions: res.Channel.Collisions}
+	out := jsonResult{JoinedAll: res.JoinedAll, Collisions: res.Channel.Collisions,
+		Faults: res.Faults}
 	out.BS.Beacons = res.BSStats.BeaconsSent
 	out.BS.Data = res.BSStats.DataReceived
+	out.BS.Reclaimed = res.BSStats.SlotsReclaimed
 	for _, n := range res.Nodes {
 		jn := jsonNode{
-			Name:    n.Name,
-			RadioMJ: n.RadioMJ(),
-			MCUMJ:   n.MCUMJ(),
-			ASICMJ:  n.ASICMJ(),
-			Losses:  map[string]float64{},
-			Sent:    n.Mac.DataSent,
-			Acked:   n.Mac.DataAcked,
-			Beats:   n.Beats,
+			Name:         n.Name,
+			RadioMJ:      n.RadioMJ(),
+			MCUMJ:        n.MCUMJ(),
+			ASICMJ:       n.ASICMJ(),
+			Losses:       map[string]float64{},
+			Sent:         n.Mac.DataSent,
+			Acked:        n.Mac.DataAcked,
+			Beats:        n.Beats,
+			Availability: n.Availability,
+			Delivery:     n.DeliveryRatio,
 		}
 		for cat, j := range n.Energy.Losses {
 			jn.Losses[string(cat)] = j * 1e3

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/mac"
 	"repro/internal/platform"
 	"repro/internal/runner"
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "cycle", "sweep dimension: cycle | nodes | fs | ber | drift | clock")
+		mode     = flag.String("mode", "cycle", "sweep dimension: cycle | nodes | fs | ber | drift | clock | crashrate")
 		appName  = flag.String("app", "streaming", "application: streaming | rpeak | hrv")
 		macName  = flag.String("mac", "static", "MAC variant: static | dynamic")
 		nodes    = flag.Int("nodes", 5, "node count (fixed dimensions)")
@@ -136,6 +137,27 @@ func main() {
 			}
 			add(fmt.Sprintf("clock=%gMHz", mhz), cfg)
 		}
+	case "crashrate":
+		// Resilience sweep: a growing number of crash/reboot cycles spread
+		// evenly over the measurement window, rotating across the nodes,
+		// with slot reclamation on. Availability and delivery columns show
+		// how the two TDMA variants degrade.
+		const outage = 1 * sim.Second
+		for _, crashes := range []int{0, 1, 2, 3, 4, 5} {
+			cfg := base
+			cfg.Warmup = 3 * sim.Second
+			cfg.SlotReclaimCycles = 15
+			for i := 0; i < crashes; i++ {
+				at := cfg.Warmup + cfg.Duration*sim.Time(i+1)/sim.Time(crashes+1)
+				cfg.Faults = append(cfg.Faults, fault.Fault{
+					Kind:        fault.KindCrash,
+					Node:        uint8(i%cfg.Nodes + 1),
+					At:          at,
+					RebootAfter: outage,
+				})
+			}
+			add(fmt.Sprintf("crashes=%d", crashes), cfg)
+		}
 	default:
 		fatalf("unknown mode %q", *mode)
 	}
@@ -157,7 +179,8 @@ func main() {
 	header := []string{"point", "radio_mJ", "mcu_mJ", "total_mJ", "avg_power_mW",
 		"pkts_sent", "pkts_acked", "ack_missed", "retries",
 		"avg_latency_ms", "max_latency_ms",
-		"collision_mJ", "idle_mJ", "overhear_mJ", "control_mJ"}
+		"collision_mJ", "idle_mJ", "overhear_mJ", "control_mJ",
+		"availability", "delivery_ratio", "slots_reclaimed"}
 	if err := w.Write(header); err != nil {
 		fatalf("%v", err)
 	}
@@ -178,6 +201,9 @@ func main() {
 			f3(n.Energy.Losses[energy.LossIdleListening] * 1e3),
 			f3(n.Energy.Losses[energy.LossOverhearing] * 1e3),
 			f3(n.Energy.Losses[energy.LossControl] * 1e3),
+			f3(meanAvailability(r.Res.Nodes)),
+			f3(meanDelivery(r.Res.Nodes)),
+			strconv.FormatUint(r.Res.BSStats.SlotsReclaimed, 10),
 		}
 		if err := w.Write(row); err != nil {
 			fatalf("%v", err)
@@ -187,6 +213,30 @@ func main() {
 
 func f1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
 func f3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// meanAvailability averages the per-node slot-holding fraction.
+func meanAvailability(nodes []core.NodeResult) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, n := range nodes {
+		sum += n.Availability
+	}
+	return sum / float64(len(nodes))
+}
+
+// meanDelivery averages the per-node acked/sent ratio.
+func meanDelivery(nodes []core.NodeResult) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, n := range nodes {
+		sum += n.DeliveryRatio
+	}
+	return sum / float64(len(nodes))
+}
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)

@@ -24,6 +24,7 @@ func main() {
 		macName = flag.String("mac", "static", "MAC variant: static | dynamic")
 		horizon = flag.Duration("duration", 0, "simulated time to trace (default 400ms)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
+		crash   = flag.Bool("crash", false, "crash node 1 mid-trace and reboot it, to show the recovery sequence")
 	)
 	flag.Parse()
 
@@ -40,14 +41,26 @@ func main() {
 	until := sim.FromDuration(*horizon)
 	if until <= 0 {
 		until = 400 * sim.Millisecond
+		if *crash {
+			until = 800 * sim.Millisecond // room for the crash + rejoin
+		}
 	}
 
 	k := sim.NewKernel(*seed)
 	ch := channel.New(k)
 	tracer := trace.New(0)
-	base := node.NewBase(k, ch, tracer, variant, 60*sim.Millisecond, 0)
+	var baseOpts []node.BaseOption
+	if *crash {
+		// Reclaim after 8 silent cycles: longer than the streaming app's
+		// inter-frame gap (so a live node is never reclaimed) but quick
+		// enough that the trace shows the base station freeing the dead
+		// node's slot before the reboot.
+		baseOpts = append(baseOpts, node.WithReclaimAfter(8))
+	}
+	base := node.NewBase(k, ch, tracer, variant, 60*sim.Millisecond, 0, baseOpts...)
 	sig := ecg.NewGenerator(ecg.Params{HeartRateBPM: 75, Seed: *seed})
 
+	var first *node.Sensor
 	for i := 0; i < 2; i++ {
 		s := node.NewSensor(k, ch, tracer, uint8(i+1), platform.IMEC(), variant)
 		s.AttachApp(func(env app.Env) app.App {
@@ -60,8 +73,19 @@ func main() {
 		at := sim.Time(i)*150*sim.Millisecond + 5*sim.Millisecond
 		sn := s
 		k.ScheduleAt(at, func(*sim.Kernel) { sn.Start() })
+		if i == 0 {
+			first = s
+		}
 	}
 	k.Schedule(0, func(*sim.Kernel) { base.Start() })
+	if *crash {
+		// Kill node 1 once both nodes are in steady state, and cold-boot
+		// it after the base station has reclaimed its slot: the trace
+		// shows the crash, the silent slots, the reclaim (with the
+		// dynamic cycle shrinking) and the full SSR-based rejoin.
+		k.ScheduleAt(400*sim.Millisecond, func(*sim.Kernel) { first.Crash() })
+		k.ScheduleAt(660*sim.Millisecond, func(*sim.Kernel) { first.Reboot() })
+	}
 	k.RunUntil(until)
 
 	fmt.Println(figure)

@@ -29,6 +29,12 @@ const (
 	Collided
 	// BitError marks a frame corrupted by channel noise.
 	BitError
+	// Jammed marks a frame corrupted by external interference (a
+	// non-network emitter saturating the band during a fault window).
+	Jammed
+	// Truncated marks a frame whose transmitter died mid-burst; the
+	// partial frame on the air cannot pass any receiver's CRC.
+	Truncated
 )
 
 // String names the corruption cause.
@@ -40,6 +46,10 @@ func (c Corruption) String() string {
 		return "collided"
 	case BitError:
 		return "bit-error"
+	case Jammed:
+		return "jammed"
+	case Truncated:
+		return "truncated"
 	default:
 		return fmt.Sprintf("corruption(%d)", int(c))
 	}
@@ -105,6 +115,9 @@ type Stats struct {
 	Deliveries    uint64 // frame copies handed to listening radios
 	CorruptCopies uint64 // delivered copies that were corrupted
 	MissedStart   uint64 // copies lost because the radio tuned in mid-frame
+	JammedFrames  uint64 // frames corrupted by an interference burst
+	Truncated     uint64 // frames whose transmitter died mid-burst
+	BlackoutDrops uint64 // copies suppressed by a link blackout window
 }
 
 type transmission struct {
@@ -124,6 +137,13 @@ type Channel struct {
 	links map[[2]string]Link
 	// burstBad tracks the Gilbert-Elliott state of each bursty link.
 	burstBad map[[2]string]bool
+	// blackouts counts active blackout windows per directed path; a
+	// positive depth suppresses delivery entirely (the path is shadowed).
+	// Depth counting lets overlapping fault windows compose.
+	blackouts map[[2]string]int
+	// jamDepth counts active interference bursts; while positive, every
+	// frame on the air is corrupted.
+	jamDepth int
 	active   []*transmission
 	stats    Stats
 }
@@ -131,10 +151,11 @@ type Channel struct {
 // New creates an empty medium on the kernel.
 func New(k *sim.Kernel) *Channel {
 	return &Channel{
-		k:        k,
-		byID:     make(map[string]Transceiver),
-		links:    make(map[[2]string]Link),
-		burstBad: make(map[[2]string]bool),
+		k:         k,
+		byID:      make(map[string]Transceiver),
+		links:     make(map[[2]string]Link),
+		burstBad:  make(map[[2]string]bool),
+		blackouts: make(map[[2]string]int),
 	}
 }
 
@@ -162,6 +183,59 @@ func (c *Channel) link(from, to string) Link {
 	return Link{Connected: true}
 }
 
+// SetBlackout opens (active) or closes an additional blackout window on
+// the directed path from -> to. While any window is open the path
+// delivers nothing — not even corrupted copies — regardless of the
+// SetLink parameters, so blackouts compose with BER/burst models instead
+// of overwriting them. Closing more windows than were opened is a no-op.
+func (c *Channel) SetBlackout(from, to string, active bool) {
+	key := [2]string{from, to}
+	if active {
+		c.blackouts[key]++
+		return
+	}
+	if c.blackouts[key] > 0 {
+		c.blackouts[key]--
+		if c.blackouts[key] == 0 {
+			delete(c.blackouts, key)
+		}
+	}
+}
+
+// SetJamming opens (active) or closes an external interference burst.
+// While any burst is open every frame put on the air is corrupted, and
+// frames already in flight when the burst starts are corrupted too.
+func (c *Channel) SetJamming(active bool) {
+	if !active {
+		if c.jamDepth > 0 {
+			c.jamDepth--
+		}
+		return
+	}
+	c.jamDepth++
+	now := c.k.Now()
+	for _, tx := range c.active {
+		if tx.end > now && tx.cause == Clean {
+			tx.cause = Jammed
+			c.stats.JammedFrames++
+		}
+	}
+}
+
+// AbortTx marks every in-flight frame from the given radio as truncated:
+// the transmitter died mid-burst, so the partial frame fails every
+// receiver's CRC. Delivery timing is unchanged (listeners were committed
+// to the frame's airtime either way).
+func (c *Channel) AbortTx(from Transceiver) {
+	now := c.k.Now()
+	for _, tx := range c.active {
+		if tx.from == from && tx.end > now && tx.cause == Clean {
+			tx.cause = Truncated
+			c.stats.Truncated++
+		}
+	}
+}
+
 // Stats returns a copy of the medium counters.
 func (c *Channel) Stats() Stats { return c.stats }
 
@@ -180,14 +254,20 @@ func (c *Channel) BeginTx(from Transceiver, image []byte, airtime sim.Time) {
 		start: now,
 		end:   now + airtime,
 	}
-	// Collision detection against every frame still on the air.
+	// External interference corrupts the frame outright.
+	if c.jamDepth > 0 {
+		tx.cause = Jammed
+		c.stats.JammedFrames++
+	}
+	// Collision detection against every frame still on the air. Frames
+	// already corrupted by another mechanism keep their original cause.
 	for _, other := range c.active {
 		if other.end > now { // overlap in time
-			if other.cause != Collided {
+			if other.cause == Clean {
 				other.cause = Collided
 				c.stats.Collisions++
 			}
-			if tx.cause != Collided {
+			if tx.cause == Clean {
 				tx.cause = Collided
 				c.stats.Collisions++
 			}
@@ -214,6 +294,10 @@ func (c *Channel) finishTx(tx *transmission) {
 		}
 		l := c.link(fromID, rx.ChannelID())
 		if !l.Connected {
+			continue
+		}
+		if c.blackouts[[2]string{fromID, rx.ChannelID()}] > 0 {
+			c.stats.BlackoutDrops++
 			continue
 		}
 		since, listening := rx.ListeningSince()

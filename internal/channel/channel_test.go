@@ -374,3 +374,110 @@ func TestQuickCollisionSymmetry(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBlackoutSuppressesDelivery(t *testing.T) {
+	k, c, a, b, bs := setup()
+	c.SetBlackout("a", "bs", true)
+	k.Schedule(0, func(*sim.Kernel) { c.BeginTx(a, img(), 100*sim.Microsecond) })
+	k.Run()
+	if len(bs.got) != 0 {
+		t.Fatalf("bs received %v through a blackout", bs.got)
+	}
+	// The blackout is directional: the other listener still hears it.
+	if len(b.got) != 1 || b.got[0] != Clean {
+		t.Fatalf("b got %v, want one clean copy", b.got)
+	}
+	if st := c.Stats(); st.BlackoutDrops != 1 {
+		t.Fatalf("BlackoutDrops = %d, want 1", st.BlackoutDrops)
+	}
+}
+
+func TestBlackoutDepthComposes(t *testing.T) {
+	k, c, a, _, bs := setup()
+	// Two overlapping windows: the path stays dark until both close.
+	c.SetBlackout("a", "bs", true)
+	c.SetBlackout("a", "bs", true)
+	c.SetBlackout("a", "bs", false)
+	k.Schedule(0, func(*sim.Kernel) { c.BeginTx(a, img(), 100*sim.Microsecond) })
+	k.Run()
+	if len(bs.got) != 0 {
+		t.Fatalf("path delivered with one of two windows still open")
+	}
+	c.SetBlackout("a", "bs", false)
+	k.Schedule(0, func(*sim.Kernel) { c.BeginTx(a, img(), 100*sim.Microsecond) })
+	k.Run()
+	if len(bs.got) != 1 || bs.got[0] != Clean {
+		t.Fatalf("bs got %v after both windows closed, want one clean copy", bs.got)
+	}
+	// Closing more windows than were opened must not wedge the path.
+	c.SetBlackout("a", "bs", false)
+	c.SetBlackout("a", "bs", true)
+	k.Schedule(0, func(*sim.Kernel) { c.BeginTx(a, img(), 100*sim.Microsecond) })
+	k.Run()
+	if len(bs.got) != 1 {
+		t.Fatalf("over-closing cancelled a later window")
+	}
+}
+
+func TestJammingCorruptsNewAndInFlightFrames(t *testing.T) {
+	k, c, a, b, bs := setup()
+	// Frame in flight when the burst starts.
+	k.Schedule(0, func(*sim.Kernel) { c.BeginTx(a, img(), 100*sim.Microsecond) })
+	k.Schedule(50*sim.Microsecond, func(*sim.Kernel) { c.SetJamming(true) })
+	// Frame born inside the burst.
+	k.Schedule(120*sim.Microsecond, func(*sim.Kernel) { c.BeginTx(b, img(), 100*sim.Microsecond) })
+	k.Schedule(300*sim.Microsecond, func(*sim.Kernel) { c.SetJamming(false) })
+	// Frame after the burst ends: clean again.
+	k.Schedule(400*sim.Microsecond, func(*sim.Kernel) { c.BeginTx(a, img(), 100*sim.Microsecond) })
+	k.Run()
+	want := []Corruption{Jammed, Jammed, Clean}
+	if len(bs.got) != 3 {
+		t.Fatalf("bs got %d copies, want 3", len(bs.got))
+	}
+	for i, cause := range want {
+		if bs.got[i] != cause {
+			t.Fatalf("copy %d delivered as %v, want %v", i, bs.got[i], cause)
+		}
+	}
+	// Jammed copies must fail the receiver-side CRC.
+	if _, ok, _ := packet.Decode(bs.images[0]); ok {
+		t.Fatalf("jammed copy passed CRC")
+	}
+	if st := c.Stats(); st.JammedFrames != 2 {
+		t.Fatalf("JammedFrames = %d, want 2", st.JammedFrames)
+	}
+}
+
+func TestAbortTxTruncatesInFlight(t *testing.T) {
+	k, c, a, b, bs := setup()
+	k.Schedule(0, func(*sim.Kernel) { c.BeginTx(a, img(), 100*sim.Microsecond) })
+	// The transmitter dies mid-burst; listeners were committed to the
+	// airtime, so a corrupted copy still arrives on schedule.
+	k.Schedule(40*sim.Microsecond, func(*sim.Kernel) { c.AbortTx(a) })
+	k.Run()
+	for _, r := range []*fakeRadio{b, bs} {
+		if len(r.got) != 1 || r.got[0] != Truncated {
+			t.Fatalf("radio %s got %v, want one truncated copy", r.id, r.got)
+		}
+	}
+	if _, ok, _ := packet.Decode(bs.images[0]); ok {
+		t.Fatalf("truncated copy passed CRC")
+	}
+	if st := c.Stats(); st.Truncated != 1 {
+		t.Fatalf("Truncated = %d, want 1", st.Truncated)
+	}
+}
+
+func TestAbortTxLeavesOtherSendersAlone(t *testing.T) {
+	k, c, a, b, bs := setup()
+	// Non-overlapping frames from two senders; aborting a's must not
+	// touch b's.
+	k.Schedule(0, func(*sim.Kernel) { c.BeginTx(a, img(), 100*sim.Microsecond) })
+	k.Schedule(10*sim.Microsecond, func(*sim.Kernel) { c.AbortTx(a) })
+	k.Schedule(200*sim.Microsecond, func(*sim.Kernel) { c.BeginTx(b, img(), 100*sim.Microsecond) })
+	k.Schedule(210*sim.Microsecond, func(*sim.Kernel) { c.AbortTx(a) }) // nothing of a's in flight
+	k.Run()
+	if len(bs.got) != 2 || bs.got[0] != Truncated || bs.got[1] != Clean {
+		t.Fatalf("bs got %v, want [truncated clean]", bs.got)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/ecg"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/mac"
 	"repro/internal/node"
 	"repro/internal/platform"
@@ -101,6 +102,15 @@ type Config struct {
 	// Profile overrides the node hardware profile; nil selects
 	// platform.IMEC().
 	Profile *platform.Profile
+	// Faults is the deterministic fault schedule (crashes, link
+	// blackouts, interference bursts), with instants measured from
+	// simulation start — warmup included.
+	Faults []fault.Fault
+	// SlotReclaimCycles makes the base station free the slot of a node
+	// silent for this many consecutive beacon cycles (0 disables — the
+	// default, since sparse-sending applications like HRV legitimately
+	// skip many cycles).
+	SlotReclaimCycles int
 }
 
 // Validate checks the configuration, applying documented defaults.
@@ -192,6 +202,14 @@ func (c *Config) Validate() error {
 	if c.StartStagger == 0 {
 		c.StartStagger = 5 * sim.Millisecond
 	}
+	if c.SlotReclaimCycles < 0 {
+		return fmt.Errorf("core: negative SlotReclaimCycles %d", c.SlotReclaimCycles)
+	}
+	// The fault schedule is checked against the full simulated span, so
+	// the defaults above (Warmup in particular) must already be applied.
+	if err := fault.ValidateSchedule(c.Faults, c.Nodes, c.Warmup+c.Duration); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	return nil
 }
 
@@ -207,6 +225,12 @@ type NodeResult struct {
 	PacketsDropped uint64
 	// Beats is the Rpeak detection count (0 for streaming).
 	Beats uint64
+	// Availability is the fraction of the measurement window the node
+	// held a slot (1.0 in a fault-free steady-state run).
+	Availability float64
+	// DeliveryRatio is acknowledged/sent data frames over the window
+	// (1.0 when nothing was sent).
+	DeliveryRatio float64
 }
 
 // RadioMJ reports the node's radio energy in millijoules — the paper's
@@ -244,6 +268,9 @@ type Results struct {
 	// JoinedAll reports whether every node held a slot at measurement
 	// start.
 	JoinedAll bool
+	// Faults reports the per-fault outcomes, in schedule order (nil when
+	// the scenario injects none).
+	Faults []fault.Outcome
 }
 
 // Node returns the result for the paper's reference node (ID 1).
@@ -263,7 +290,11 @@ func Run(cfg Config) (Results, error) {
 	ch := channel.New(k)
 	tracer := trace.New(cfg.TraceLimit)
 
-	base := node.NewBase(k, ch, tracer, cfg.Variant, cfg.Cycle, 0)
+	var baseOpts []node.BaseOption
+	if cfg.SlotReclaimCycles > 0 {
+		baseOpts = append(baseOpts, node.WithReclaimAfter(cfg.SlotReclaimCycles))
+	}
+	base := node.NewBase(k, ch, tracer, cfg.Variant, cfg.Cycle, 0, baseOpts...)
 
 	signal := ecg.NewGenerator(ecg.Params{
 		HeartRateBPM: cfg.HeartRateBPM,
@@ -355,6 +386,23 @@ func Run(cfg Config) (Results, error) {
 		}
 	}
 
+	// The fault schedule is armed before power-on so every injection
+	// event holds a deterministic position in the kernel's order.
+	var inj *fault.Injector
+	if len(cfg.Faults) > 0 {
+		inj = fault.New(k, ch, tracer)
+		for _, s := range sensors {
+			s := s
+			inj.AddNode(s.ID, fault.NodeHooks{
+				Crash:    s.Crash,
+				Reboot:   s.Reboot,
+				OnJoined: s.Mac.OnJoined,
+				Stats:    s.Mac.Stats,
+			})
+		}
+		inj.Install(cfg.Faults)
+	}
+
 	// Power-on: the base station first, then the nodes staggered a few
 	// milliseconds apart (same power strip, slightly different boot
 	// times) so their first SSRs rarely collide.
@@ -387,6 +435,9 @@ func Run(cfg Config) (Results, error) {
 		Trace:     tracer,
 		JoinedAll: joinedAll,
 	}
+	if inj != nil {
+		res.Faults = inj.Finalize()
+	}
 	res.BSEnergy = base.FinalizeEnergy(k.Now())
 	for i, s := range sensors {
 		nr := NodeResult{
@@ -395,6 +446,17 @@ func Run(cfg Config) (Results, error) {
 			Energy: s.FinalizeEnergy(k.Now()),
 			Mac:    s.Mac.Stats(),
 			Radio:  s.Radio.Stats(),
+		}
+		av := float64(s.Mac.JoinedTime()) / float64(cfg.Duration)
+		if av < 0 {
+			av = 0
+		} else if av > 1 {
+			av = 1
+		}
+		nr.Availability = av
+		nr.DeliveryRatio = 1
+		if nr.Mac.DataSent > 0 {
+			nr.DeliveryRatio = float64(nr.Mac.DataAcked) / float64(nr.Mac.DataSent)
 		}
 		switch a := apps[i].(type) {
 		case *app.Streaming:

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/channel"
+	"repro/internal/fault"
 	"repro/internal/mac"
 	"repro/internal/sim"
 )
@@ -25,6 +26,8 @@ type scenarioJSON struct {
 	Burst        *channel.BurstModel `json:"burst"`         //
 	DriftPPM     float64             `json:"clockDriftPPM"` //
 	StartStagger sim.Time            `json:"startStagger"`  //
+	Faults       []fault.Fault       `json:"faults,omitempty"`
+	SlotReclaim  int                 `json:"slotReclaimCycles,omitempty"`
 }
 
 // ConfigFromJSON parses a scenario description. Validation happens at
@@ -35,18 +38,25 @@ func ConfigFromJSON(data []byte) (Config, error) {
 		return Config{}, fmt.Errorf("core: bad scenario: %w", err)
 	}
 	cfg := Config{
-		Nodes:         s.Nodes,
-		Cycle:         s.Cycle,
-		App:           AppKind(s.App),
-		SampleRateHz:  s.SampleRateHz,
-		HeartRateBPM:  s.HeartRateBPM,
-		Duration:      s.Duration,
-		Warmup:        s.Warmup,
-		Seed:          s.Seed,
-		BER:           s.BER,
-		Burst:         s.Burst,
-		ClockDriftPPM: s.DriftPPM,
-		StartStagger:  s.StartStagger,
+		Nodes:             s.Nodes,
+		Cycle:             s.Cycle,
+		App:               AppKind(s.App),
+		SampleRateHz:      s.SampleRateHz,
+		HeartRateBPM:      s.HeartRateBPM,
+		Duration:          s.Duration,
+		Warmup:            s.Warmup,
+		Seed:              s.Seed,
+		BER:               s.BER,
+		Burst:             s.Burst,
+		ClockDriftPPM:     s.DriftPPM,
+		StartStagger:      s.StartStagger,
+		Faults:            s.Faults,
+		SlotReclaimCycles: s.SlotReclaim,
+	}
+	// Normalise an explicit empty list to nil so a decode/encode round
+	// trip is value-identical (the encoder omits the field either way).
+	if len(cfg.Faults) == 0 {
+		cfg.Faults = nil
 	}
 	switch s.Mac {
 	case "static", "":
@@ -75,6 +85,8 @@ func ConfigToJSON(cfg Config) ([]byte, error) {
 		Burst:        cfg.Burst,
 		DriftPPM:     cfg.ClockDriftPPM,
 		StartStagger: cfg.StartStagger,
+		Faults:       cfg.Faults,
+		SlotReclaim:  cfg.SlotReclaimCycles,
 	}
 	return json.MarshalIndent(s, "", "  ")
 }

@@ -38,6 +38,15 @@ func FuzzLoadScenario(f *testing.F) {
 	f.Add([]byte(`{"cycle":"-5ms","duration":"-1s","warmup":"-1s","startStagger":"-1ms"}`))
 	f.Add([]byte(`{"burst":{"pGoodToBad":1e308,"berBad":-1}}`))
 	f.Add([]byte(`{"nodes":-1,"sampleRateHz":1e999}`))
+	// Fault schedules: valid mixes plus windows the validator must reject.
+	f.Add([]byte(`{"nodes":2,"duration":"5s","faults":[` +
+		`{"kind":"crash","node":1,"at":"1s","reboot_after":"500ms"},` +
+		`{"kind":"blackout","from":"node2","to":"bs","at":"2s","until":"3s"},` +
+		`{"kind":"interference","at":"4s","until":"4500ms"}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"meteor","at":"1s"}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"crash","node":0,"at":"-1s","reboot_after":"-2s"}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"blackout","from":"bs","to":"bs","at":"9s","until":"1s"}]}`))
+	f.Add([]byte(`{"slotReclaimCycles":-3,"faults":[{"kind":"crash","node":1,"at":"1s"},{"kind":"crash","node":1,"at":"1s"}]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cfg, err := ConfigFromJSON(data)

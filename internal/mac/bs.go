@@ -28,16 +28,23 @@ type BSConfig struct {
 	// Plan is the BAN's address assignment; the zero value selects
 	// packet.DefaultPlan().
 	Plan packet.AddressPlan
+	// ReclaimAfter frees the slot of a joined node that has been silent
+	// for this many consecutive beacon cycles (it crashed, walked out of
+	// range, or lost sync). 0 disables reclamation — the historical
+	// behaviour, and the right setting for applications that legitimately
+	// send less than once per cycle.
+	ReclaimAfter int
 }
 
 // BSStats counts base-station events.
 type BSStats struct {
-	BeaconsSent  uint64
-	DataReceived uint64
-	AcksSent     uint64
-	SSRReceived  uint64
-	SSRRejected  uint64
-	StrayFrames  uint64
+	BeaconsSent    uint64
+	DataReceived   uint64
+	AcksSent       uint64
+	SSRReceived    uint64
+	SSRRejected    uint64
+	StrayFrames    uint64
+	SlotsReclaimed uint64
 }
 
 // RxRecord is one data frame the base station accepted.
@@ -72,6 +79,9 @@ type BS struct {
 	nodeSlot map[uint8]int
 	slotNode map[int]uint8
 	grants   []grant
+	// silent counts consecutive beacon cycles without a data frame from
+	// each joined node, for slot reclamation.
+	silent map[uint8]int
 
 	onData   func(rec RxRecord)
 	received []RxRecord
@@ -112,6 +122,7 @@ func NewBS(k *sim.Kernel, cfg BSConfig, sched *tinyos.Sched, r *radio.Radio,
 		maxSlots: cfg.MaxSlots,
 		nodeSlot: make(map[uint8]int),
 		slotNode: make(map[int]uint8),
+		silent:   make(map[uint8]int),
 	}
 	r.SetReceiveHandler(bs.onFrame)
 	return bs
@@ -203,7 +214,8 @@ func (bs *BS) prepareBeacon(fireAt sim.Time) {
 	bs.inBeaconPrep = true
 	bs.radio.Standby() // stop listening; the SB slot begins
 	bs.sched.Interrupt("bs-beacon-build", p.Cost.BSBeaconBuild, func() {
-		bs.cycle = bs.currentCycle() // dynamic growth takes effect here
+		bs.reclaimSilent()
+		bs.cycle = bs.currentCycle() // dynamic growth/shrink takes effect here
 		bs.seq++
 		b := packet.Beacon{
 			Seq:         bs.seq,
@@ -248,6 +260,71 @@ func (bs *BS) prepareBeacon(fireAt sim.Time) {
 	})
 }
 
+// reclaimSilent ages every joined node's silence counter and frees the
+// slots of nodes silent for ReclaimAfter consecutive beacon cycles. It
+// runs in the beacon-build task, before the cycle length is recomputed,
+// so a dynamic cycle shrinks on the very beacon that drops the node. In
+// the dynamic variant the surviving slots are renumbered densely (the
+// cycle only covers indices 0..n-1 and every beacon carries the full
+// table, so survivors pick up their new index from the next beacon); in
+// the static variant the freed index simply returns to the grant pool.
+func (bs *BS) reclaimSilent() {
+	if bs.cfg.ReclaimAfter <= 0 || len(bs.nodeSlot) == 0 {
+		return
+	}
+	ids := make([]uint8, 0, len(bs.nodeSlot))
+	for id := range bs.nodeSlot {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	reclaimed := false
+	for _, id := range ids {
+		bs.silent[id]++
+		if bs.silent[id] < bs.cfg.ReclaimAfter {
+			continue
+		}
+		slot := bs.nodeSlot[id]
+		delete(bs.nodeSlot, id)
+		delete(bs.slotNode, slot)
+		delete(bs.silent, id)
+		reclaimed = true
+		bs.stats.SlotsReclaimed++
+		bs.tracer.Recordf(bs.k.Now(), "bs", trace.KindSlotReclaim,
+			"node=%d slot=%d after=%d", id, slot, bs.cfg.ReclaimAfter)
+		// Drop any pending grant advertisements for the dead node.
+		live := bs.grants[:0]
+		for _, g := range bs.grants {
+			if g.entry.NodeID != id {
+				live = append(live, g)
+			}
+		}
+		bs.grants = live
+	}
+	if reclaimed && bs.cfg.Variant == Dynamic {
+		bs.compactSlots()
+	}
+}
+
+// compactSlots renumbers the surviving dynamic slots densely, preserving
+// their order. Without this a survivor's slot index could exceed the
+// shrunk cycle and its transmissions would land outside the frame.
+func (bs *BS) compactSlots() {
+	slots := make([]int, 0, len(bs.slotNode))
+	for s := range bs.slotNode {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	nodeSlot := make(map[uint8]int, len(slots))
+	slotNode := make(map[int]uint8, len(slots))
+	for i, s := range slots {
+		id := bs.slotNode[s]
+		nodeSlot[id] = i
+		slotNode[i] = id
+	}
+	bs.nodeSlot = nodeSlot
+	bs.slotNode = slotNode
+}
+
 // beaconEntries assembles the advertisement list: the full slot table for
 // dynamic TDMA, the active grants for static TDMA.
 func (bs *BS) beaconEntries() []packet.SlotEntry {
@@ -288,6 +365,7 @@ func (bs *BS) onFrame(f packet.Frame) {
 func (bs *BS) handleSSR(ssr packet.SSR) {
 	bs.stats.SSRReceived++
 	bs.sched.PostFn("bs-slot-assign", bs.cfg.Profile.Cost.BSSlotAssign, func() {
+		delete(bs.silent, ssr.NodeID)
 		slot, exists := bs.nodeSlot[ssr.NodeID]
 		if !exists {
 			if len(bs.nodeSlot) >= bs.maxSlots {
@@ -336,6 +414,7 @@ func (bs *BS) handleData(payload []byte) {
 		bs.stats.StrayFrames++
 		return
 	}
+	delete(bs.silent, node)
 	rec := RxRecord{Node: node, Payload: append([]byte(nil), payload...), At: bs.k.Now()}
 	bs.received = append(bs.received, rec)
 	bs.stats.DataReceived++

@@ -19,6 +19,7 @@ const (
 	stateSearching  nodeState = iota // continuous listen for a first beacon
 	stateRequesting                  // beacon-synced, slot request pending
 	stateJoined                      // slot held, steady-state duty cycle
+	stateCrashed                     // powered off by a fault; waiting for reboot
 )
 
 // NodeConfig parameterises a node-side MAC instance.
@@ -56,7 +57,15 @@ type NodeMac struct {
 	t0       sim.Time // air-start instant of the current cycle's beacon
 	cycle    sim.Time // cycle length from the latest beacon
 	slot     int
-	onJoined func()
+	onJoined []func()
+	// gen invalidates kernel events armed before a crash: every scheduled
+	// closure captures the generation it was issued under and returns
+	// without effect when a crash has bumped it since.
+	gen uint64
+	// joinedSince/joinedAccum track slot-holding time for the
+	// availability metric.
+	joinedSince sim.Time
+	joinedAccum sim.Time
 
 	queue    []txItem
 	loading  bool // FIFO clock-in in progress
@@ -118,8 +127,10 @@ func (m *NodeMac) Start() {
 	m.joinListenAt = m.k.Now()
 }
 
-// OnJoined implements Mac.
-func (m *NodeMac) OnJoined(fn func()) { m.onJoined = fn }
+// OnJoined implements Mac. Multiple callbacks may be registered; each
+// fires on every completed join handshake (including rejoins after a
+// missed-beacon resync or a crash/reboot cycle).
+func (m *NodeMac) OnJoined(fn func()) { m.onJoined = append(m.onJoined, fn) }
 
 // Joined implements Mac.
 func (m *NodeMac) Joined() bool { return m.state == stateJoined }
@@ -150,6 +161,55 @@ func (m *NodeMac) ResetAccounting() {
 	m.controlRxTime = 0
 	m.controlTxTime = 0
 	m.joinIdleTime = 0
+	m.joinedAccum = 0
+	if m.state == stateJoined {
+		m.joinedSince = m.k.Now()
+	}
+}
+
+// JoinedTime reports the cumulative time the node has held a slot since
+// the last ResetAccounting — the numerator of the availability metric.
+func (m *NodeMac) JoinedTime() sim.Time {
+	t := m.joinedAccum
+	if m.state == stateJoined {
+		t += m.k.Now() - m.joinedSince
+	}
+	return t
+}
+
+// noteLeftSlot closes the joined-time interval when the node loses or
+// abandons its slot.
+func (m *NodeMac) noteLeftSlot() {
+	if m.state == stateJoined {
+		m.joinedAccum += m.k.Now() - m.joinedSince
+	}
+}
+
+// Crash models a node power loss: the complete protocol state — join
+// status, slot, transmit queue, in-flight frame, timing references — is
+// lost, and every armed protocol event is invalidated. The radio, MCU
+// and application are crashed separately by the node layer; restart the
+// MAC with Start (a cold boot through the normal search/SSR join path).
+func (m *NodeMac) Crash() {
+	m.gen++
+	if m.windowActive {
+		m.k.Cancel(m.windowTimeout)
+		m.windowActive = false
+	}
+	if m.ackWaiting {
+		m.k.Cancel(m.ackTimeout)
+		m.ackWaiting = false
+	}
+	m.noteLeftSlot()
+	m.state = stateCrashed
+	m.slot = -1
+	m.missed = 0
+	m.queue = nil
+	m.loading = false
+	m.loaded = false
+	m.inFlight = nil
+	m.ssrScheduled = false
+	m.tracer.Record(m.k.Now(), m.name, trace.KindCrash, "")
 }
 
 // txItem is one queued payload with its retransmission count.
@@ -277,10 +337,11 @@ func (m *NodeMac) handleBeacon(b packet.Beacon, payloadLen int) {
 			if m.state != stateJoined {
 				m.slot = int(e.Slot)
 				m.state = stateJoined
+				m.joinedSince = now
 				m.ssrScheduled = false
 				m.tracer.Recordf(now, m.name, trace.KindJoined, "slot=%d", m.slot)
-				if m.onJoined != nil {
-					m.onJoined()
+				for _, fn := range m.onJoined {
+					fn()
 				}
 			} else {
 				m.slot = int(e.Slot)
@@ -321,7 +382,11 @@ func (m *NodeMac) scheduleNextWindow() {
 	if openAt <= now {
 		openAt = now // degenerate cycles: open immediately
 	}
+	gen := m.gen
 	m.k.ScheduleAt(openAt, func(*sim.Kernel) {
+		if m.gen != gen {
+			return // armed before a crash
+		}
 		if m.windowActive || m.state == stateSearching {
 			return
 		}
@@ -340,7 +405,12 @@ func (m *NodeMac) scheduleNextWindow() {
 		if deadline < m.k.Now() {
 			deadline = m.k.Now()
 		}
-		m.windowTimeout = m.k.ScheduleAt(deadline, func(*sim.Kernel) { m.onWindowTimeout() })
+		m.windowTimeout = m.k.ScheduleAt(deadline, func(*sim.Kernel) {
+			if m.gen != gen {
+				return
+			}
+			m.onWindowTimeout()
+		})
 	})
 }
 
@@ -367,6 +437,7 @@ func (m *NodeMac) onWindowTimeout() {
 // rejoin abandons the slot and restarts the join procedure.
 func (m *NodeMac) rejoin() {
 	m.stats.Rejoins++
+	m.noteLeftSlot()
 	m.state = stateSearching
 	m.slot = -1
 	m.missed = 0
@@ -428,7 +499,11 @@ func (m *NodeMac) scheduleSSR() {
 	}
 	m.ssrScheduled = true
 	loadedSSR := false
+	gen := m.gen
 	m.k.ScheduleAt(prepAt, func(*sim.Kernel) {
+		if m.gen != gen {
+			return // armed before a crash
+		}
 		if m.state != stateRequesting || m.radio.Mode() == radio.ModeRx {
 			m.ssrScheduled = false
 			return
@@ -444,6 +519,9 @@ func (m *NodeMac) scheduleSSR() {
 		})
 	})
 	m.k.ScheduleAt(fireAt, func(*sim.Kernel) {
+		if m.gen != gen {
+			return // armed before a crash
+		}
 		if m.state != stateRequesting || !loadedSSR || m.radio.Mode() == radio.ModeRx {
 			m.ssrScheduled = false
 			return
@@ -495,7 +573,13 @@ func (m *NodeMac) scheduleSlotFire() {
 	if fireAt <= m.k.Now() {
 		return // our slot already passed this cycle
 	}
-	m.k.ScheduleAt(fireAt, func(*sim.Kernel) { m.fireSlot() })
+	gen := m.gen
+	m.k.ScheduleAt(fireAt, func(*sim.Kernel) {
+		if m.gen != gen {
+			return // armed before a crash
+		}
+		m.fireSlot()
+	})
 }
 
 // fireSlot transmits the loaded frame at the slot boundary and opens the
@@ -534,7 +618,13 @@ func (m *NodeMac) openAckWindow() {
 	m.ackOpenAt = m.k.Now()
 	m.radio.SetRxAddresses(m.cfg.Plan.NodeAddr(m.cfg.NodeID))
 	m.radio.StartRx()
-	m.ackTimeout = m.k.Schedule(p.MAC.AckTimeout, func(*sim.Kernel) { m.onAckTimeout() })
+	gen := m.gen
+	m.ackTimeout = m.k.Schedule(p.MAC.AckTimeout, func(*sim.Kernel) {
+		if m.gen != gen {
+			return
+		}
+		m.onAckTimeout()
+	})
 }
 
 // handleAck closes the acknowledgement window on success.

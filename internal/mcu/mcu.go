@@ -29,6 +29,10 @@ type MCU struct {
 	busyUntil  sim.Time
 	sleeping   bool
 	sleepState energy.State
+	// gen invalidates queued completion callbacks across a crash: a
+	// callback only applies its effects when the generation it was issued
+	// under is still current.
+	gen uint64
 
 	execs      uint64
 	cyclesRun  int64
@@ -40,6 +44,7 @@ type MCU struct {
 func New(k *sim.Kernel, params platform.MCUParams, ledger *energy.Ledger) *MCU {
 	v := params.VoltageV
 	meter := energy.NewMeter(platform.ComponentMCU, map[energy.State]energy.Draw{
+		platform.StateMCUOff:       {},
 		platform.StateMCUActive:    {CurrentA: params.ActiveA, VoltageV: v},
 		platform.StateMCUPowerSave: {CurrentA: params.PowerSaveA, VoltageV: v},
 		platform.StateMCULPM1:      {CurrentA: params.DeepModesA[0], VoltageV: v},
@@ -137,7 +142,11 @@ func (m *MCU) execFor(dur sim.Time, cycles int64, done func()) sim.Time {
 	m.busyUntil = end
 	m.activeTime += dur
 
+	gen := m.gen
 	m.k.ScheduleAt(end, func(*sim.Kernel) {
+		if m.gen != gen {
+			return // the node crashed; this computation never completed
+		}
 		if done != nil {
 			done()
 		}
@@ -148,4 +157,22 @@ func (m *MCU) execFor(dur sim.Time, cycles int64, done func()) sim.Time {
 		}
 	})
 	return end
+}
+
+// Crash models a node power loss: all queued computation is abandoned
+// (its completion callbacks never run), and the core stops drawing
+// current until Reboot. ActiveTime keeps the already-charged estimate of
+// the aborted work; the energy meter — the accounting source of truth —
+// is cut off at the crash instant.
+func (m *MCU) Crash() {
+	m.gen++
+	m.busyUntil = m.k.Now()
+	m.sleeping = true
+	m.meter.Transition(m.k.Now(), platform.StateMCUOff)
+}
+
+// Reboot restores the core after a Crash: it comes up in the configured
+// sleep state, ready for the boot code's first Exec.
+func (m *MCU) Reboot() {
+	m.meter.Transition(m.k.Now(), m.sleepState)
 }

@@ -136,6 +136,30 @@ func (s *Sensor) Start() {
 	s.Mac.Start()
 }
 
+// Crash models a sudden power loss: the application stops sampling, the
+// MAC forgets its slot and queue, any frame mid-burst is truncated on the
+// air, and every queued computation is abandoned. Statistics counters
+// survive (they are the experimenter's instruments, not node state); the
+// energy meters record the outage as zero draw.
+func (s *Sensor) Crash() {
+	if s.App != nil {
+		s.App.Stop()
+	}
+	s.Frontend.Stop()
+	s.Mac.Crash()
+	s.Radio.Crash()
+	s.MCU.Crash()
+}
+
+// Reboot cold-boots the node after a Crash: the MCU comes back up and the
+// MAC restarts its join procedure from beacon search, exactly like the
+// initial power-on. The OnJoined hooks registered at Start still stand,
+// so the application resumes once a slot is granted again.
+func (s *Sensor) Reboot() {
+	s.MCU.Reboot()
+	s.Mac.Start()
+}
+
 // ResetAccounting zeroes every energy and statistics accumulator at
 // instant now, so a measurement window excludes the join transient.
 func (s *Sensor) ResetAccounting(now sim.Time) {
@@ -185,6 +209,13 @@ func WithBaseAddressPlan(name string, p packet.AddressPlan) BaseOption {
 		c.Plan = p
 		*n = name
 	}
+}
+
+// WithReclaimAfter enables the base station's slot reclamation: a joined
+// node that stays silent for n consecutive beacon cycles loses its slot
+// (0 disables, the default).
+func WithReclaimAfter(n int) BaseOption {
+	return func(c *mac.BSConfig, _ *string) { c.ReclaimAfter = n }
 }
 
 // NewBase builds the base-station stack.

@@ -364,6 +364,7 @@ const (
 
 // MCU power-state names.
 const (
+	StateMCUOff       = "off"
 	StateMCUActive    = "active"
 	StateMCUPowerSave = "power-save"
 	StateMCULPM1      = "lpm1"

@@ -88,6 +88,10 @@ type Radio struct {
 	draining bool
 	txBusy   bool
 	loaded   *packet.Frame // frame sitting in the TX FIFO after Load
+	// gen invalidates in-flight transmit/drain callbacks across a crash:
+	// each scheduled step only applies when the generation it was issued
+	// under is still current.
+	gen uint64
 
 	rxAddrs map[packet.Address]bool
 	onRecv  ReceiveFunc
@@ -256,9 +260,16 @@ func (r *Radio) Fire(done func()) {
 	r.txBusy = true
 	r.setMode(ModeTx)
 	air := r.params.Airtime(len(frame.Payload))
+	gen := r.gen
 	r.k.Schedule(r.params.TxSettle, func(*sim.Kernel) {
+		if r.gen != gen {
+			return // crashed during PLL settling; nothing reached the air
+		}
 		r.ch.BeginTx(r, frame.Encode(), air)
 		r.k.Schedule(air, func(*sim.Kernel) {
+			if r.gen != gen {
+				return // crashed mid-burst; AbortTx already truncated it
+			}
 			r.stats.TxFrames++
 			r.txAirTime += air
 			r.txBusy = false
@@ -268,6 +279,21 @@ func (r *Radio) Fire(done func()) {
 			}
 		})
 	})
+}
+
+// Crash models a node power loss: any burst in progress is truncated on
+// the medium, the FIFO contents are lost, and the radio powers down. The
+// crashed-out transmit/drain callbacks never fire. After a Reboot the
+// radio behaves like a freshly powered chip (mode off, empty FIFOs).
+func (r *Radio) Crash() {
+	r.gen++
+	if r.txBusy {
+		r.ch.AbortTx(r)
+		r.txBusy = false
+	}
+	r.loaded = nil
+	r.draining = false
+	r.setMode(ModeOff)
 }
 
 // Transmit is Load followed immediately by Fire.
@@ -320,7 +346,11 @@ func (r *Radio) Deliver(image []byte, cause channel.Corruption) {
 	r.draining = true
 	drain := r.params.RxClockOut(len(frame.Payload))
 	r.productiveRx += drain
+	gen := r.gen
 	r.k.Schedule(drain, func(*sim.Kernel) {
+		if r.gen != gen {
+			return // node crashed mid-drain; the frame is lost
+		}
 		if r.mode != ModeRx || !r.draining {
 			return // upper layer repurposed the radio mid-drain
 		}

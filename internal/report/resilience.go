@@ -1,0 +1,64 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fault"
+)
+
+// NodeAvailability is one node's resilience summary: the fraction of the
+// measurement window it held a slot and its end-to-end delivery ratio.
+type NodeAvailability struct {
+	Name          string
+	Availability  float64
+	DeliveryRatio float64
+}
+
+// RenderResilience formats the fault-injection outcome of a run: per-node
+// availability and delivery, then one line per scheduled fault with its
+// recovery figures. It returns "" for a fault-free run with full
+// availability, so callers can print it unconditionally.
+func RenderResilience(nodes []NodeAvailability, outcomes []fault.Outcome, slotsReclaimed uint64) string {
+	faultFree := len(outcomes) == 0 && slotsReclaimed == 0
+	if faultFree {
+		full := true
+		for _, n := range nodes {
+			if n.Availability < 1 {
+				full = false
+				break
+			}
+		}
+		if full {
+			return ""
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Resilience:\n")
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "  %-8s availability %6.2f%%  delivery %6.2f%%\n",
+			n.Name, n.Availability*100, n.DeliveryRatio*100)
+	}
+	if slotsReclaimed > 0 {
+		fmt.Fprintf(&b, "  slots reclaimed by the base station: %d\n", slotsReclaimed)
+	}
+	for _, o := range outcomes {
+		fmt.Fprintf(&b, "  %v: ", o.Fault)
+		switch o.Fault.Kind {
+		case fault.KindCrash:
+			if o.Fault.RebootAfter == 0 {
+				b.WriteString("never rebooted")
+			} else if o.Rejoined {
+				fmt.Fprintf(&b, "rejoined %v after reboot", o.TimeToRejoin)
+			} else {
+				fmt.Fprintf(&b, "rebooted at %v, never rejoined", o.RebootedAt)
+			}
+			fmt.Fprintf(&b, "; delivery during outage %d/%d", o.AckedDuring, o.SentDuring)
+		default:
+			fmt.Fprintf(&b, "delivery during window %d/%d (%.1f%%)",
+				o.AckedDuring, o.SentDuring, o.DeliveryDuring()*100)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package runner
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/mac"
+	"repro/internal/sim"
+)
+
+// randomSchedule builds a random but valid-by-construction fault
+// schedule: per-node crashes are laid out sequentially so they never
+// overlap, and every window is inside the simulated span. The test rand
+// is seeded, so the "chaos" is reproducible.
+func randomSchedule(rng *rand.Rand, nodes int, total sim.Time) []fault.Fault {
+	var faults []fault.Fault
+	span := int64(total)
+	for n := 1; n <= nodes; n++ {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		at := sim.Time(rng.Int63n(span * 3 / 4))
+		f := fault.Fault{Kind: fault.KindCrash, Node: uint8(n), At: at}
+		if rng.Intn(3) > 0 { // two thirds of crashes reboot
+			f.RebootAfter = sim.Time(rng.Int63n(int64(total-at))/2 + 1)
+		}
+		faults = append(faults, f)
+	}
+	ends := []string{"bs", "node1", "node2", "node3"}
+	for i := 0; i < rng.Intn(3); i++ {
+		from := ends[rng.Intn(len(ends))]
+		to := ends[rng.Intn(len(ends))]
+		if from == to {
+			continue
+		}
+		at := sim.Time(rng.Int63n(span * 3 / 4))
+		faults = append(faults, fault.Fault{
+			Kind: fault.KindBlackout, From: from, To: to,
+			At: at, Until: at + sim.Time(rng.Int63n(int64(total-at)))/2 + 1,
+		})
+	}
+	if rng.Intn(2) == 0 {
+		at := sim.Time(rng.Int63n(span / 2))
+		faults = append(faults, fault.Fault{
+			Kind: fault.KindInterference,
+			At:   at, Until: at + sim.Time(rng.Int63n(int64(total-at)))/2 + 1,
+		})
+	}
+	return faults
+}
+
+// chaosConfig is testConfig plus a random fault schedule and sometimes
+// slot reclamation, with a warmup so fault windows straddle the
+// accounting reset.
+func chaosConfig(rng *rand.Rand, i int) core.Config {
+	cfg := testConfig(DeriveSeed(900, i))
+	cfg.Warmup = 500 * sim.Millisecond
+	if i%2 == 1 {
+		cfg.Variant = mac.Dynamic
+		cfg.Cycle = 0
+	}
+	if rng.Intn(2) == 1 {
+		cfg.SlotReclaimCycles = 10 + rng.Intn(20)
+	}
+	cfg.Faults = randomSchedule(rng, cfg.Nodes, cfg.Warmup+cfg.Duration)
+	return cfg
+}
+
+// TestChaosFaultSchedules is the fault-injection property test: random
+// seeded fault schedules must validate, terminate, keep every metric
+// inside its invariant range, and produce identical results at any
+// worker count.
+func TestChaosFaultSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	var points []Point
+	for i := 0; i < 8; i++ {
+		cfg := chaosConfig(rng, i)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("generated schedule %d invalid: %v\n%+v", i, err, cfg.Faults)
+		}
+		points = append(points, Point{Label: fmt.Sprintf("chaos-%d", i), Config: cfg})
+	}
+
+	baseline := Run(points, Options{Workers: 1})
+	if err := FirstErr(baseline); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range baseline {
+		cfg := points[i].Config
+		for _, n := range r.Res.Nodes {
+			if n.Availability < 0 || n.Availability > 1 {
+				t.Errorf("%s %s: availability %v outside [0,1]", r.Label, n.Name, n.Availability)
+			}
+			if n.DeliveryRatio < 0 || n.DeliveryRatio > 1 {
+				t.Errorf("%s %s: delivery ratio %v outside [0,1]", r.Label, n.Name, n.DeliveryRatio)
+			}
+			if n.Mac.DataAcked > n.Mac.DataSent {
+				t.Errorf("%s %s: acked %d > sent %d", r.Label, n.Name, n.Mac.DataAcked, n.Mac.DataSent)
+			}
+		}
+		if got, want := len(r.Res.Faults), len(cfg.Faults); got != want {
+			t.Errorf("%s: %d fault outcomes for %d faults", r.Label, got, want)
+		}
+		for _, o := range r.Res.Faults {
+			if o.Rejoined && o.RejoinedAt < o.RebootedAt {
+				t.Errorf("%s: rejoin at %v precedes reboot at %v", r.Label, o.RejoinedAt, o.RebootedAt)
+			}
+			if o.TimeToRejoin < 0 {
+				t.Errorf("%s: negative time-to-rejoin %v", r.Label, o.TimeToRejoin)
+			}
+			if o.AckedDuring > o.SentDuring {
+				t.Errorf("%s: acked %d > sent %d during fault window", r.Label, o.AckedDuring, o.SentDuring)
+			}
+			if d := o.DeliveryDuring(); d < 0 || d > 1 {
+				t.Errorf("%s: delivery-during %v outside [0,1]", r.Label, d)
+			}
+		}
+	}
+
+	// Worker-count invariance must hold with faults in play too.
+	for _, w := range []int{3, 6} {
+		got := Run(points, Options{Workers: w})
+		if !reflect.DeepEqual(baseline, got) {
+			for i := range baseline {
+				if !reflect.DeepEqual(baseline[i], got[i]) {
+					describeDiff(t, baseline[i].Res, got[i].Res)
+				}
+			}
+			t.Fatalf("fault-bearing results at workers=%d differ from workers=1", w)
+		}
+	}
+}

@@ -31,6 +31,15 @@ const (
 	KindCycleGrow  Kind = "cycle-grow"  // dynamic TDMA extended its cycle
 	KindJoined     Kind = "joined"      // node completed the join handshake
 	KindBeat       Kind = "beat"        // Rpeak application detected a beat
+
+	// Fault-injection events (internal/fault).
+	KindCrash       Kind = "crash"        // node lost power (fault injection)
+	KindReboot      Kind = "reboot"       // node cold-booted after a crash
+	KindSlotReclaim Kind = "slot-reclaim" // base station freed a silent node's slot
+	KindLinkDown    Kind = "link-down"    // a path entered a blackout window
+	KindLinkUp      Kind = "link-up"      // a blacked-out path was restored
+	KindJamOn       Kind = "jam-on"       // external interference burst began
+	KindJamOff      Kind = "jam-off"      // external interference burst ended
 )
 
 // Event is one recorded occurrence.
