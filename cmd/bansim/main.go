@@ -24,6 +24,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/fault"
 	"repro/internal/mac"
+	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -119,6 +120,9 @@ func main() {
 		format   = flag.String("format", "text", "output format: text | json")
 		confPath = flag.String("config", "", "JSON scenario file (overrides the other flags)")
 		reclaim  = flag.Int("reclaim", 0, "free a silent node's slot after this many beacon cycles (0 = never)")
+		withMet  = flag.Bool("metrics", false, "collect and print the observability snapshot (state residency, counters, latency histograms)")
+		metOut   = flag.String("metrics-out", "", "write the metrics snapshot to this file (.csv = flat table, else JSON); implies -metrics")
+		traceOut = flag.String("trace-out", "", "write the event timeline as Chrome trace_event JSON (open in chrome://tracing or ui.perfetto.dev)")
 	)
 	var faults []fault.Fault
 	faultFlags(&faults)
@@ -139,15 +143,12 @@ func main() {
 		if *reclaim > 0 {
 			cfg.SlotReclaimCycles = *reclaim
 		}
+		cfg.Metrics = cfg.Metrics || *withMet || *metOut != ""
 		res, err := core.Run(cfg)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if *format == "json" {
-			printJSON(res)
-		} else {
-			printText(res)
-		}
+		emit(res, *format, *metOut, *traceOut)
 		return
 	}
 
@@ -187,19 +188,56 @@ func main() {
 		BER:               *ber,
 		Faults:            faults,
 		SlotReclaimCycles: *reclaim,
+		Metrics:           *withMet || *metOut != "",
 	}
 	res, err := core.Run(cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}
+	emit(res, *format, *metOut, *traceOut)
+}
 
-	switch *format {
+// emit prints the run in the chosen format and writes the optional
+// metrics and Chrome-trace artefacts.
+func emit(res core.Results, format, metOut, traceOut string) {
+	switch format {
 	case "json":
 		printJSON(res)
 	case "text":
 		printText(res)
 	default:
-		fatalf("unknown format %q", *format)
+		fatalf("unknown format %q", format)
+	}
+	if metOut != "" {
+		var data []byte
+		if strings.HasSuffix(metOut, ".csv") {
+			data = []byte(res.Metrics.CSV())
+		} else {
+			var err error
+			data, err = res.Metrics.JSON()
+			if err != nil {
+				fatalf("metrics: %v", err)
+			}
+		}
+		if err := os.WriteFile(metOut, data, 0o644); err != nil {
+			fatalf("metrics: %v", err)
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fatalf("trace: %v", err)
+		}
+		if err := metrics.WriteChromeTrace(f, res.Trace.Events()); err != nil {
+			fatalf("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("trace: %v", err)
+		}
+		if d := res.Trace.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "bansim: trace incomplete: %d event(s) dropped at the %d-event limit (raise -config traceLimit)\n",
+				d, res.Config.TraceLimit)
+		}
 	}
 }
 
@@ -263,6 +301,10 @@ func printText(res core.Results) {
 		fmt.Println()
 		fmt.Print(s)
 	}
+	if s := report.RenderMetrics(res.Metrics); s != "" {
+		fmt.Println()
+		fmt.Print(s)
+	}
 }
 
 func orderedStates(c energy.ComponentReport) []energy.State {
@@ -288,9 +330,10 @@ type jsonResult struct {
 		Data      uint64 `json:"dataReceived"`
 		Reclaimed uint64 `json:"slotsReclaimed"`
 	} `json:"baseStation"`
-	Collisions uint64          `json:"collisions"`
-	JoinedAll  bool            `json:"joinedAll"`
-	Faults     []fault.Outcome `json:"faults,omitempty"`
+	Collisions uint64            `json:"collisions"`
+	JoinedAll  bool              `json:"joinedAll"`
+	Faults     []fault.Outcome   `json:"faults,omitempty"`
+	Metrics    *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 type jsonNode struct {
@@ -308,7 +351,7 @@ type jsonNode struct {
 
 func printJSON(res core.Results) {
 	out := jsonResult{JoinedAll: res.JoinedAll, Collisions: res.Channel.Collisions,
-		Faults: res.Faults}
+		Faults: res.Faults, Metrics: res.Metrics}
 	out.BS.Beacons = res.BSStats.BeaconsSent
 	out.BS.Data = res.BSStats.DataReceived
 	out.BS.Reclaimed = res.BSStats.SlotsReclaimed

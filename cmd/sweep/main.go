@@ -22,6 +22,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -43,6 +44,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = sequential)")
 		progress = flag.Bool("progress", false, "report per-point progress on stderr")
+		metOut   = flag.String("metrics-out", "", "write the sweep's aggregated metrics snapshot to this file (.csv = flat table, else JSON)")
 	)
 	flag.Parse()
 
@@ -73,6 +75,8 @@ func main() {
 	if app == core.AppStreaming {
 		base.SampleRateHz = 205
 	}
+
+	base.Metrics = *metOut != ""
 
 	var points []runner.Point
 	add := func(label string, cfg core.Config) {
@@ -165,13 +169,31 @@ func main() {
 	opts := runner.Options{Workers: *workers}
 	if *progress {
 		opts.OnProgress = func(p runner.Progress) {
-			fmt.Fprintf(os.Stderr, "sweep: %d/%d %s (elapsed %v, eta %v)\n",
-				p.Done, p.Total, p.Label, p.Elapsed.Round(time.Millisecond), p.ETA.Round(time.Millisecond))
+			rate := float64(p.Events) / p.Elapsed.Seconds()
+			fmt.Fprintf(os.Stderr, "sweep: %d/%d %s (elapsed %v, eta %v, %.2fM events/s)\n",
+				p.Done, p.Total, p.Label, p.Elapsed.Round(time.Millisecond), p.ETA.Round(time.Millisecond),
+				rate/1e6)
 		}
 	}
 	results := runner.Run(points, opts)
 	if err := runner.FirstErr(results); err != nil {
 		fatalf("point %v", err)
+	}
+	if *metOut != "" {
+		agg := runner.AggregateMetrics(results)
+		var data []byte
+		if strings.HasSuffix(*metOut, ".csv") {
+			data = []byte(agg.CSV())
+		} else {
+			var err error
+			data, err = agg.JSON()
+			if err != nil {
+				fatalf("metrics: %v", err)
+			}
+		}
+		if err := os.WriteFile(*metOut, data, 0o644); err != nil {
+			fatalf("metrics: %v", err)
+		}
 	}
 
 	w := csv.NewWriter(os.Stdout)

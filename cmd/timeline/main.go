@@ -13,6 +13,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/ecg"
 	"repro/internal/mac"
+	"repro/internal/metrics"
 	"repro/internal/node"
 	"repro/internal/platform"
 	"repro/internal/sim"
@@ -21,10 +22,11 @@ import (
 
 func main() {
 	var (
-		macName = flag.String("mac", "static", "MAC variant: static | dynamic")
-		horizon = flag.Duration("duration", 0, "simulated time to trace (default 400ms)")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		crash   = flag.Bool("crash", false, "crash node 1 mid-trace and reboot it, to show the recovery sequence")
+		macName  = flag.String("mac", "static", "MAC variant: static | dynamic")
+		horizon  = flag.Duration("duration", 0, "simulated time to trace (default 400ms)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		crash    = flag.Bool("crash", false, "crash node 1 mid-trace and reboot it, to show the recovery sequence")
+		traceOut = flag.String("trace-out", "", "also write the timeline as Chrome trace_event JSON (open in chrome://tracing)")
 	)
 	flag.Parse()
 
@@ -92,4 +94,20 @@ func main() {
 	fmt.Println("(SB = beacon slot, SSRi = slot request, Si = assigned slot, RB = beacon reception)")
 	fmt.Println()
 	fmt.Print(tracer.Render())
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "timeline: %v\n", err)
+			os.Exit(1)
+		}
+		if err := metrics.WriteChromeTrace(f, tracer.Events()); err != nil {
+			fmt.Fprintf(os.Stderr, "timeline: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "timeline: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/fault"
 	"repro/internal/mac"
+	"repro/internal/metrics"
 	"repro/internal/node"
 	"repro/internal/platform"
 	"repro/internal/radio"
@@ -111,6 +112,12 @@ type Config struct {
 	// default, since sparse-sending applications like HRV legitimately
 	// skip many cycles).
 	SlotReclaimCycles int
+	// Metrics enables the structured observability snapshot: when true,
+	// Results.Metrics carries per-(node, component, state) time/energy
+	// rows, exact event counters and latency histograms, assembled over
+	// the measurement window. Collection never changes the simulation,
+	// only what is reported.
+	Metrics bool
 }
 
 // Validate checks the configuration, applying documented defaults.
@@ -271,6 +278,13 @@ type Results struct {
 	// Faults reports the per-fault outcomes, in schedule order (nil when
 	// the scenario injects none).
 	Faults []fault.Outcome
+	// Metrics is the structured observability snapshot (nil unless
+	// Config.Metrics is set).
+	Metrics *metrics.Snapshot
+	// KernelEvents counts the discrete events the kernel dispatched over
+	// the whole run — the simulator's own work metric, which the runner's
+	// progress/throughput reporting feeds from.
+	KernelEvents uint64
 }
 
 // Node returns the result for the paper's reference node (ID 1).
@@ -424,6 +438,9 @@ func Run(cfg Config) (Results, error) {
 		s.ResetAccounting(k.Now())
 	}
 	base.ResetAccounting(k.Now())
+	// Counters and histograms cover the measurement window, like the
+	// component statistics; the event log keeps the join transient.
+	tracer.ResetDerived()
 
 	// Measurement window.
 	k.RunUntil(cfg.Warmup + cfg.Duration)
@@ -475,6 +492,10 @@ func Run(cfg Config) (Results, error) {
 			nr.PacketsDropped = a.PacketsDropped()
 		}
 		res.Nodes = append(res.Nodes, nr)
+	}
+	res.KernelEvents = k.Executed()
+	if cfg.Metrics {
+		res.Metrics = assembleMetrics(&res)
 	}
 	return res, nil
 }

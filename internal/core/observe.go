@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// assembleMetrics builds the structured observability snapshot from an
+// assembled Results value: per-(node, component, state) residency rows
+// from the energy reports, the trace-derived counters and latency
+// histograms, plus the MAC/radio/channel statistics as namespaced
+// counters. Everything comes from data the run already produced, so
+// enabling metrics cannot perturb the simulation.
+func assembleMetrics(res *Results) *metrics.Snapshot {
+	energies := make([]metrics.NodeEnergy, 0, len(res.Nodes)+1)
+	energies = append(energies, metrics.NodeEnergy{Node: "bs", Report: res.BSEnergy})
+	var extra []metrics.CounterRow
+	for _, nr := range res.Nodes {
+		energies = append(energies, metrics.NodeEnergy{Node: nr.Name, Report: nr.Energy})
+		extra = append(extra, statRows(nr.Name, "mac", [][2]any{
+			{"beacons-heard", nr.Mac.BeaconsHeard},
+			{"beacons-missed", nr.Mac.BeaconsMissed},
+			{"ssr-sent", nr.Mac.SSRSent},
+			{"data-sent", nr.Mac.DataSent},
+			{"data-acked", nr.Mac.DataAcked},
+			{"ack-missed", nr.Mac.AckMissed},
+			{"retries", nr.Mac.Retries},
+			{"queue-drops", nr.Mac.QueueDrops},
+			{"rejoins", nr.Mac.Rejoins},
+		})...)
+		extra = append(extra, statRows(nr.Name, "radio", [][2]any{
+			{"tx-frames", nr.Radio.TxFrames},
+			{"rx-accepted", nr.Radio.RxAccepted},
+			{"crc-drops", nr.Radio.CRCDrops},
+			{"addr-drops", nr.Radio.AddrDrops},
+		})...)
+		extra = append(extra, statRows(nr.Name, "app", [][2]any{
+			{"packets-sent", nr.PacketsSent},
+			{"packets-dropped", nr.PacketsDropped},
+			{"beats", nr.Beats},
+		})...)
+	}
+	extra = append(extra, statRows("bs", "bs", [][2]any{
+		{"beacons-sent", res.BSStats.BeaconsSent},
+		{"data-received", res.BSStats.DataReceived},
+		{"acks-sent", res.BSStats.AcksSent},
+		{"ssr-received", res.BSStats.SSRReceived},
+		{"ssr-rejected", res.BSStats.SSRRejected},
+		{"stray-frames", res.BSStats.StrayFrames},
+		{"slots-reclaimed", res.BSStats.SlotsReclaimed},
+	})...)
+	extra = append(extra, statRows("channel", "channel", [][2]any{
+		{"transmissions", res.Channel.Transmissions},
+		{"collisions", res.Channel.Collisions},
+		{"deliveries", res.Channel.Deliveries},
+		{"corrupt-copies", res.Channel.CorruptCopies},
+		{"missed-start", res.Channel.MissedStart},
+		{"jammed-frames", res.Channel.JammedFrames},
+		{"truncated", res.Channel.Truncated},
+		{"blackout-drops", res.Channel.BlackoutDrops},
+	})...)
+	return metrics.Assemble(res.Trace, energies, extra, res.KernelEvents)
+}
+
+// statRows turns a component's statistics into namespaced counter rows,
+// skipping zero values to keep snapshots dense.
+func statRows(node, prefix string, pairs [][2]any) []metrics.CounterRow {
+	var rows []metrics.CounterRow
+	for _, p := range pairs {
+		v := p[1].(uint64)
+		if v == 0 {
+			continue
+		}
+		rows = append(rows, metrics.CounterRow{
+			Node:  node,
+			Name:  fmt.Sprintf("%s.%s", prefix, p[0].(string)),
+			Value: v,
+		})
+	}
+	return rows
+}

@@ -28,6 +28,8 @@ type scenarioJSON struct {
 	StartStagger sim.Time            `json:"startStagger"`  //
 	Faults       []fault.Fault       `json:"faults,omitempty"`
 	SlotReclaim  int                 `json:"slotReclaimCycles,omitempty"`
+	TraceLimit   int                 `json:"traceLimit,omitempty"` // event ring cap (0 = default)
+	Metrics      bool                `json:"metrics,omitempty"`    // collect the observability snapshot
 }
 
 // ConfigFromJSON parses a scenario description. Validation happens at
@@ -52,6 +54,8 @@ func ConfigFromJSON(data []byte) (Config, error) {
 		StartStagger:      s.StartStagger,
 		Faults:            s.Faults,
 		SlotReclaimCycles: s.SlotReclaim,
+		TraceLimit:        s.TraceLimit,
+		Metrics:           s.Metrics,
 	}
 	// Normalise an explicit empty list to nil so a decode/encode round
 	// trip is value-identical (the encoder omits the field either way).
@@ -87,6 +91,8 @@ func ConfigToJSON(cfg Config) ([]byte, error) {
 		StartStagger: cfg.StartStagger,
 		Faults:       cfg.Faults,
 		SlotReclaim:  cfg.SlotReclaimCycles,
+		TraceLimit:   cfg.TraceLimit,
+		Metrics:      cfg.Metrics,
 	}
 	return json.MarshalIndent(s, "", "  ")
 }

@@ -47,6 +47,10 @@ func FuzzLoadScenario(f *testing.F) {
 	f.Add([]byte(`{"faults":[{"kind":"crash","node":0,"at":"-1s","reboot_after":"-2s"}]}`))
 	f.Add([]byte(`{"faults":[{"kind":"blackout","from":"bs","to":"bs","at":"9s","until":"1s"}]}`))
 	f.Add([]byte(`{"slotReclaimCycles":-3,"faults":[{"kind":"crash","node":1,"at":"1s"},{"kind":"crash","node":1,"at":"1s"}]}`))
+	// Observability fields: the metrics switch and trace ring cap.
+	f.Add([]byte(`{"nodes":2,"duration":"5s","metrics":true,"traceLimit":100}`))
+	f.Add([]byte(`{"metrics":false,"traceLimit":-1}`))
+	f.Add([]byte(`{"metrics":1,"traceLimit":"many"}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cfg, err := ConfigFromJSON(data)

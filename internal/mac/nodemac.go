@@ -66,6 +66,14 @@ type NodeMac struct {
 	// availability metric.
 	joinedSince sim.Time
 	joinedAccum sim.Time
+	// joinedEver/rejoinArmed/rejoinFrom time the rejoin-latency
+	// histogram: once a node has held a slot, every return to the search
+	// state (missed-beacon resync, dropped from the slot table, cold
+	// boot after a crash) starts a rejoin clock that stops when a slot
+	// is held again.
+	joinedEver  bool
+	rejoinArmed bool
+	rejoinFrom  sim.Time
 
 	queue    []txItem
 	loading  bool // FIFO clock-in in progress
@@ -125,6 +133,12 @@ func (m *NodeMac) Start() {
 	m.radio.SetRxAddresses(m.cfg.Plan.Beacon)
 	m.radio.StartRx()
 	m.joinListenAt = m.k.Now()
+	if m.joinedEver && !m.rejoinArmed {
+		// A restart after a crash: the rejoin clock runs from the cold
+		// boot, mirroring fault.Outcome.TimeToRejoin.
+		m.rejoinArmed = true
+		m.rejoinFrom = m.k.Now()
+	}
 }
 
 // OnJoined implements Mac. Multiple callbacks may be registered; each
@@ -339,6 +353,11 @@ func (m *NodeMac) handleBeacon(b packet.Beacon, payloadLen int) {
 				m.state = stateJoined
 				m.joinedSince = now
 				m.ssrScheduled = false
+				if m.rejoinArmed {
+					m.tracer.Observe(m.name, trace.HistRejoin, now-m.rejoinFrom)
+					m.rejoinArmed = false
+				}
+				m.joinedEver = true
 				m.tracer.Recordf(now, m.name, trace.KindJoined, "slot=%d", m.slot)
 				for _, fn := range m.onJoined {
 					fn()
@@ -438,6 +457,10 @@ func (m *NodeMac) onWindowTimeout() {
 func (m *NodeMac) rejoin() {
 	m.stats.Rejoins++
 	m.noteLeftSlot()
+	if !m.rejoinArmed {
+		m.rejoinArmed = true
+		m.rejoinFrom = m.k.Now()
+	}
 	m.state = stateSearching
 	m.slot = -1
 	m.missed = 0
@@ -600,6 +623,7 @@ func (m *NodeMac) fireSlot() {
 		if lat > m.stats.LatencyMax {
 			m.stats.LatencyMax = lat
 		}
+		m.tracer.Observe(m.name, trace.HistSlotWait, lat)
 	}
 	m.radio.Fire(func() {
 		if m.inFlight == nil {
@@ -636,6 +660,7 @@ func (m *NodeMac) handleAck() {
 	m.k.Cancel(m.ackTimeout)
 	m.radio.PowerDown()
 	m.accountControlRx(m.k.Now() - m.ackOpenAt)
+	m.tracer.Observe(m.name, trace.HistTxToAck, m.k.Now()-m.ackOpenAt)
 	m.stats.DataAcked++
 	m.inFlight = nil
 	m.tracer.Record(m.k.Now(), m.name, trace.KindAckRx, "")

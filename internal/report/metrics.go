@@ -1,0 +1,72 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// RenderMetrics formats an observability snapshot as the per-phase
+// breakdown table: component power-state residency with its energy cost
+// (the paper's E = I·Vdd·t decomposition, one row per state instead of
+// one aggregate per component), the loss-category split, the typed
+// counters and the latency histograms. It returns "" for a nil snapshot
+// so callers can print unconditionally.
+func RenderMetrics(s *metrics.Snapshot) string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Metrics (%d point(s), %d kernel events, %d trace events",
+		s.Points, s.KernelEvents, s.EventsRecorded)
+	if s.EventsDropped > 0 {
+		fmt.Fprintf(&b, ", %d dropped", s.EventsDropped)
+	}
+	b.WriteString("):\n")
+
+	var states, losses []metrics.StateRow
+	for _, r := range s.States {
+		if r.Component == "loss" {
+			losses = append(losses, r)
+		} else {
+			states = append(states, r)
+		}
+	}
+	if len(states) > 0 {
+		b.WriteString("  state residency:\n")
+		b.WriteString("    node     component  state         time_ms   energy_mj\n")
+		for _, r := range states {
+			fmt.Fprintf(&b, "    %-8s %-10s %-10s %10.1f  %10.4f\n",
+				r.Node, r.Component, r.State, r.Time.Milliseconds(), r.EnergyMJ)
+		}
+	}
+	if len(losses) > 0 {
+		b.WriteString("  losses:\n")
+		for _, r := range losses {
+			fmt.Fprintf(&b, "    %-8s %-20s %10.4f mJ\n", r.Node, r.State, r.EnergyMJ)
+		}
+	}
+	if len(s.Counters) > 0 {
+		b.WriteString("  counters:\n")
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "    %-8s %-24s %10d\n", c.Node, c.Name, c.Value)
+		}
+	}
+	if len(s.Hists) > 0 {
+		b.WriteString("  latency (ms):\n")
+		b.WriteString("    node     metric         count        avg        p50        p90        p99        max\n")
+		for _, h := range s.Hists {
+			avg := sim.Time(0)
+			if h.Count > 0 {
+				avg = h.Sum / sim.Time(h.Count)
+			}
+			fmt.Fprintf(&b, "    %-8s %-12s %7d %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+				h.Node, h.Name, h.Count,
+				avg.Milliseconds(), h.P50.Milliseconds(), h.P90.Milliseconds(),
+				h.P99.Milliseconds(), h.Max.Milliseconds())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package runner
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mac"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// metricsBatch is a small grid with metrics collection on: mixed
+// variants, a lossy link and fine-grained timing, so the snapshots carry
+// non-trivial counters and histograms.
+func metricsBatch() []Point {
+	var points []Point
+	for i, variant := range []mac.Variant{mac.Static, mac.Dynamic} {
+		points = append(points, Point{
+			Label: variant.String(),
+			Config: core.Config{
+				Variant:  variant,
+				Nodes:    3,
+				Cycle:    30 * sim.Millisecond,
+				App:      core.AppRpeak,
+				Duration: 2 * sim.Second,
+				Warmup:   1 * sim.Second,
+				Seed:     DeriveSeed(7, i),
+				BER:      2e-4,
+				Metrics:  true,
+			},
+		})
+	}
+	return points
+}
+
+// TestMetricsWorkerInvariance locks the observability determinism
+// contract: a run with -metrics produces identical metric values at any
+// worker count. Snapshot rows are sorted by key, so plain DeepEqual is
+// the whole comparison.
+func TestMetricsWorkerInvariance(t *testing.T) {
+	points := metricsBatch()
+	seq := Run(points, Options{Workers: 1})
+	par := Run(points, Options{Workers: 4})
+	if err := FirstErr(seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstErr(par); err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		s, p := seq[i].Res.Metrics, par[i].Res.Metrics
+		if s == nil || p == nil {
+			t.Fatalf("point %d: snapshot missing (seq=%v par=%v)", i, s != nil, p != nil)
+		}
+		if !reflect.DeepEqual(s, p) {
+			t.Errorf("point %d (%s): snapshot differs between 1 and 4 workers", i, points[i].Label)
+		}
+		if s.KernelEvents == 0 || len(s.Counters) == 0 || len(s.Hists) == 0 {
+			t.Errorf("point %d: snapshot suspiciously empty: %+v", i, s)
+		}
+	}
+	aggSeq := AggregateMetrics(seq)
+	aggPar := AggregateMetrics(par)
+	if !reflect.DeepEqual(aggSeq, aggPar) {
+		t.Error("aggregated snapshot differs between 1 and 4 workers")
+	}
+	if aggSeq.Points != len(points) {
+		t.Fatalf("aggregate points = %d, want %d", aggSeq.Points, len(points))
+	}
+}
+
+// TestAggregateMetricsSkipsBare ensures failed points and points run
+// without Config.Metrics contribute nothing, and that an all-bare batch
+// aggregates to nil rather than an empty snapshot.
+func TestAggregateMetricsSkipsBare(t *testing.T) {
+	bare := []Result{
+		{Res: core.Results{}},
+		{Err: errors.New("boom"), Res: core.Results{Metrics: &metrics.Snapshot{Points: 1}}},
+	}
+	if agg := AggregateMetrics(bare); agg != nil {
+		t.Fatalf("bare batch aggregated to %+v, want nil", agg)
+	}
+	one := append(bare, Result{Res: core.Results{Metrics: &metrics.Snapshot{Points: 1, KernelEvents: 9}}})
+	agg := AggregateMetrics(one)
+	if agg == nil || agg.Points != 1 || agg.KernelEvents != 9 {
+		t.Fatalf("aggregate = %+v, want the single live snapshot", agg)
+	}
+}
+
+// TestProgressEvents checks the cumulative kernel-event feed: the final
+// progress callback must report the batch's total, matching the sum of
+// the per-point results.
+func TestProgressEvents(t *testing.T) {
+	points := metricsBatch()
+	var last Progress
+	results := Run(points, Options{Workers: 2, OnProgress: func(p Progress) { last = p }})
+	if err := FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	var want uint64
+	for _, r := range results {
+		if r.Res.KernelEvents == 0 {
+			t.Fatalf("point %s reported zero kernel events", r.Label)
+		}
+		want += r.Res.KernelEvents
+	}
+	if last.Done != len(points) || last.Events != want {
+		t.Fatalf("final progress %+v, want done=%d events=%d", last, len(points), want)
+	}
+}

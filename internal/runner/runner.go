@@ -23,12 +23,16 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 // Point is one experiment in a batch: a label for reporting plus the
@@ -72,6 +76,10 @@ type Progress struct {
 	// ETA estimates the remaining wall-clock time from the mean
 	// per-point rate so far (0 when Done == Total).
 	ETA time.Duration
+	// Events is the cumulative count of kernel events dispatched by the
+	// completed points — the same counter the metrics snapshots carry, so
+	// progress throughput (events/s) and the final report agree.
+	Events uint64
 }
 
 // Options tunes a batch run.
@@ -126,6 +134,7 @@ func Run(points []Point, opts Options) []Result {
 	start := time.Now()
 	var mu sync.Mutex // serialises done counting + OnProgress
 	done := 0
+	var events uint64
 	finish := func(i int) {
 		if opts.OnProgress == nil {
 			return
@@ -133,6 +142,7 @@ func Run(points []Point, opts Options) []Result {
 		mu.Lock()
 		defer mu.Unlock()
 		done++
+		events += results[i].Res.KernelEvents
 		elapsed := time.Since(start)
 		var eta time.Duration
 		if rest := len(points) - done; rest > 0 {
@@ -144,6 +154,7 @@ func Run(points []Point, opts Options) []Result {
 			Label:   points[i].Label,
 			Elapsed: elapsed,
 			ETA:     eta,
+			Events:  events,
 		})
 	}
 
@@ -179,7 +190,10 @@ func Run(points []Point, opts Options) []Result {
 }
 
 // runPoint executes one point, converting a model panic into an error so
-// a single bad configuration cannot kill a thousand-point sweep.
+// a single bad configuration cannot kill a thousand-point sweep. The
+// point runs under pprof labels ("point", "index"), so a CPU profile of a
+// sweep attributes samples to experiment points, not just to model
+// functions.
 func runPoint(exec func(core.Config) (core.Results, error), points []Point, i int) (r Result) {
 	p := points[i]
 	r = Result{Index: i, Label: p.Label, Config: p.Config}
@@ -188,8 +202,31 @@ func runPoint(exec func(core.Config) (core.Results, error), points []Point, i in
 			r.Err = fmt.Errorf("runner: point %d (%s) panicked: %v", i, p.Label, rec)
 		}
 	}()
-	r.Res, r.Err = exec(p.Config)
+	labels := pprof.Labels("point", p.Label, "index", strconv.Itoa(i))
+	pprof.Do(context.Background(), labels, func(context.Context) {
+		r.Res, r.Err = exec(p.Config)
+	})
 	return r
+}
+
+// AggregateMetrics merges the metrics snapshots of every successful point
+// into one batch-level snapshot. Points that failed or ran without
+// Config.Metrics contribute nothing; nil is returned when no point
+// carried a snapshot. The merge is key-wise addition over sorted rows, so
+// the aggregate is identical at any worker count.
+func AggregateMetrics(results []Result) *metrics.Snapshot {
+	var snaps []*metrics.Snapshot
+	any := false
+	for _, r := range results {
+		if r.Err == nil && r.Res.Metrics != nil {
+			snaps = append(snaps, r.Res.Metrics)
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return metrics.Merge(snaps)
 }
 
 // FirstErr returns the first failed result in input order, or nil when

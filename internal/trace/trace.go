@@ -1,137 +1,58 @@
-// Package trace records typed simulation events so that protocol
-// timelines (the paper's Figures 2 and 3) can be printed from an actual
-// run, and so tests can assert on protocol behaviour without reaching
-// into component internals.
+// Package trace is a compatibility shim over internal/metrics, the
+// structured observability layer that replaced the original standalone
+// event ring. Every type here is an alias, so the dozens of component
+// call sites (and external tests) keep compiling while feeding the
+// metrics recorder — events, exact per-(node, kind) counters and latency
+// histograms all come from the same stream.
 package trace
 
-import (
-	"fmt"
-	"strings"
-
-	"repro/internal/sim"
-)
+import "repro/internal/metrics"
 
 // Kind classifies a recorded event.
-type Kind string
+type Kind = metrics.Kind
 
-// The event kinds the framework emits.
+// The event kinds the framework emits (aliases of the metrics kinds).
 const (
-	KindBeaconTx   Kind = "beacon-tx"   // base station sent a beacon (SB slot)
-	KindBeaconRx   Kind = "beacon-rx"   // node received a beacon (RB in the figures)
-	KindSSRTx      Kind = "ssr-tx"      // node sent a slot request (SSRi)
-	KindSlotGrant  Kind = "slot-grant"  // base station assigned a slot (Si created)
-	KindSlotStart  Kind = "slot-start"  // a node's data slot began
-	KindDataTx     Kind = "data-tx"     // node transmitted a data frame
-	KindDataRx     Kind = "data-rx"     // base station accepted a data frame
-	KindAckRx      Kind = "ack-rx"      // node received the acknowledgement
-	KindAckMissed  Kind = "ack-missed"  // ack window elapsed with no ack
-	KindCollision  Kind = "collision"   // a frame was corrupted by overlap
-	KindCRCDrop    Kind = "crc-drop"    // radio discarded a frame on CRC
-	KindAddrFilter Kind = "addr-filter" // radio discarded an overheard frame
-	KindCycleGrow  Kind = "cycle-grow"  // dynamic TDMA extended its cycle
-	KindJoined     Kind = "joined"      // node completed the join handshake
-	KindBeat       Kind = "beat"        // Rpeak application detected a beat
+	KindBeaconTx   = metrics.KindBeaconTx
+	KindBeaconRx   = metrics.KindBeaconRx
+	KindSSRTx      = metrics.KindSSRTx
+	KindSlotGrant  = metrics.KindSlotGrant
+	KindSlotStart  = metrics.KindSlotStart
+	KindDataTx     = metrics.KindDataTx
+	KindDataRx     = metrics.KindDataRx
+	KindAckRx      = metrics.KindAckRx
+	KindAckMissed  = metrics.KindAckMissed
+	KindCollision  = metrics.KindCollision
+	KindCRCDrop    = metrics.KindCRCDrop
+	KindAddrFilter = metrics.KindAddrFilter
+	KindCycleGrow  = metrics.KindCycleGrow
+	KindJoined     = metrics.KindJoined
+	KindBeat       = metrics.KindBeat
 
-	// Fault-injection events (internal/fault).
-	KindCrash       Kind = "crash"        // node lost power (fault injection)
-	KindReboot      Kind = "reboot"       // node cold-booted after a crash
-	KindSlotReclaim Kind = "slot-reclaim" // base station freed a silent node's slot
-	KindLinkDown    Kind = "link-down"    // a path entered a blackout window
-	KindLinkUp      Kind = "link-up"      // a blacked-out path was restored
-	KindJamOn       Kind = "jam-on"       // external interference burst began
-	KindJamOff      Kind = "jam-off"      // external interference burst ended
+	KindCrash       = metrics.KindCrash
+	KindReboot      = metrics.KindReboot
+	KindSlotReclaim = metrics.KindSlotReclaim
+	KindLinkDown    = metrics.KindLinkDown
+	KindLinkUp      = metrics.KindLinkUp
+	KindJamOn       = metrics.KindJamOn
+	KindJamOff      = metrics.KindJamOff
+)
+
+// Histogram metric names the MAC layer observes through its tracer.
+const (
+	HistSlotWait = metrics.HistSlotWait
+	HistTxToAck  = metrics.HistTxToAck
+	HistRejoin   = metrics.HistRejoin
 )
 
 // Event is one recorded occurrence.
-type Event struct {
-	At     sim.Time
-	Node   string // "bs" or the sensor node name
-	Kind   Kind
-	Detail string
-}
+type Event = metrics.Event
 
-// String renders the event as one timeline line.
-func (e Event) String() string {
-	if e.Detail == "" {
-		return fmt.Sprintf("%10.3fms  %-6s %s", e.At.Milliseconds(), e.Node, e.Kind)
-	}
-	return fmt.Sprintf("%10.3fms  %-6s %-12s %s", e.At.Milliseconds(), e.Node, e.Kind, e.Detail)
-}
-
-// Recorder accumulates events. A nil *Recorder is valid and drops
-// everything, so components can trace unconditionally.
-type Recorder struct {
-	events []Event
-	limit  int
-}
+// Recorder accumulates events, counters and histograms. A nil *Recorder
+// is valid and drops everything.
+type Recorder = metrics.Recorder
 
 // New creates a recorder that keeps at most limit events (0 = unlimited).
-func New(limit int) *Recorder { return &Recorder{limit: limit} }
-
-// Record appends an event. Safe on a nil receiver.
-func (r *Recorder) Record(at sim.Time, node string, kind Kind, detail string) {
-	if r == nil {
-		return
-	}
-	if r.limit > 0 && len(r.events) >= r.limit {
-		return
-	}
-	r.events = append(r.events, Event{At: at, Node: node, Kind: kind, Detail: detail})
-}
-
-// Recordf is Record with a format string.
-func (r *Recorder) Recordf(at sim.Time, node string, kind Kind, format string, args ...any) {
-	if r == nil {
-		return
-	}
-	r.Record(at, node, kind, fmt.Sprintf(format, args...))
-}
-
-// Events returns all recorded events in record order.
-func (r *Recorder) Events() []Event {
-	if r == nil {
-		return nil
-	}
-	return r.events
-}
-
-// Filter returns the events matching kind, in order.
-func (r *Recorder) Filter(kind Kind) []Event {
-	if r == nil {
-		return nil
-	}
-	var out []Event
-	for _, e := range r.events {
-		if e.Kind == kind {
-			out = append(out, e)
-		}
-	}
-	return out
-}
-
-// ByNode returns the events attributed to node, in order.
-func (r *Recorder) ByNode(node string) []Event {
-	if r == nil {
-		return nil
-	}
-	var out []Event
-	for _, e := range r.events {
-		if e.Node == node {
-			out = append(out, e)
-		}
-	}
-	return out
-}
-
-// Count reports how many events of the given kind were recorded.
-func (r *Recorder) Count(kind Kind) int { return len(r.Filter(kind)) }
-
-// Render formats the whole timeline as text.
-func (r *Recorder) Render() string {
-	var b strings.Builder
-	for _, e := range r.Events() {
-		b.WriteString(e.String())
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
+// Counters and histograms are exact regardless of the limit; events past
+// it are dropped but counted (see Recorder.Dropped).
+func New(limit int) *Recorder { return metrics.NewRecorder(limit) }

@@ -50,6 +50,17 @@ func TestLimit(t *testing.T) {
 	if got := len(r.Events()); got != 2 {
 		t.Fatalf("limited recorder kept %d events, want 2", got)
 	}
+	// The drop is counted and surfaced, never silent: Count stays exact
+	// and Render appends a trailer naming the loss.
+	if got := r.Dropped(); got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+	if got := r.Count(KindDataTx); got != 5 {
+		t.Fatalf("Count = %d, want the exact 5 despite the limit", got)
+	}
+	if out := r.Render(); !strings.Contains(out, "3 further event(s) dropped") {
+		t.Fatalf("Render hides the drop:\n%s", out)
+	}
 }
 
 func TestRender(t *testing.T) {
