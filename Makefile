@@ -1,16 +1,44 @@
 # Developer and CI entry points. `make` (or `make ci`) is the gate every
-# change must pass: vet, build, the full test suite, and a race-detector
-# pass over the packages that host or feed the parallel experiment
-# runner.
+# change must pass: vet, the external linters (when installed), the
+# repo's own analyzer suite (banlint), build, the full test suite, a
+# race-detector pass, and the coverage floors.
 
 GO ?= go
 
-.PHONY: ci vet build test race cover bench fuzz sweep-demo
+.PHONY: ci vet lint banlint build test race cover bench fuzz sweep-demo
 
-ci: vet build test race cover
+ci: vet lint banlint build test race cover
 
 vet:
 	$(GO) vet ./...
+
+# External linters. The container this runs in may not have them; skip
+# with a loud warning rather than failing so `make ci` works offline.
+# gofmt ships with the toolchain, so it always runs — and fails on any
+# unformatted file.
+lint:
+	@unformatted=$$(gofmt -l . | grep -v '/testdata/' || true); \
+	if [ -n "$$unformatted" ]; then \
+		echo "lint: gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi; \
+	echo "lint: gofmt clean"
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... || exit 1; \
+	else \
+		echo "lint: WARNING: staticcheck not installed, skipping"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || exit 1; \
+	else \
+		echo "lint: WARNING: govulncheck not installed, skipping"; \
+	fi
+
+# The repo's own go/analysis-style suite (cmd/banlint): determinism,
+# fault-safety and unit-hygiene invariants the generic linters cannot
+# know about. Zero unsuppressed diagnostics is the bar; waive a finding
+# only with an in-source `//lint:allow <analyzer> <reason>` comment.
+banlint:
+	$(GO) run ./cmd/banlint ./...
 
 build:
 	$(GO) build ./...
@@ -18,24 +46,27 @@ build:
 test:
 	$(GO) test ./...
 
-# The runner executes many simulations concurrently; the kernel, core
-# façade and runner itself must stay race-clean under the detector, and
-# so must everything the fault injector reaches into mid-run (MAC state
-# machines and the shared medium).
+# The runner executes many simulations concurrently and the fault
+# injector reaches into MAC state machines mid-run; keep the whole tree
+# race-clean, not just the packages that were racy once.
 race:
-	$(GO) test -race ./internal/runner ./internal/sim ./internal/core \
-		./internal/fault ./internal/mac ./internal/channel
+	$(GO) test -race ./...
 
 # Statement-coverage floors for the packages carrying the model's
 # correctness weight (set just under their current levels; raise them as
 # coverage grows, never lower them to make a change pass).
-COVER_FLOORS = internal/core:78 internal/mac:88 internal/metrics:75
+COVER_FLOORS = internal/core:78 internal/mac:88 internal/metrics:75 \
+	internal/fault:90 internal/runner:95
 
 cover:
 	@for spec in $(COVER_FLOORS); do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \
-		pct=$$($(GO) test -cover ./$$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
-		if [ -z "$$pct" ]; then echo "cover: no coverage line for ./$$pkg (tests failed?)"; exit 1; fi; \
+		out=$$($(GO) test -cover ./$$pkg) || { echo "cover: tests failed in ./$$pkg"; echo "$$out"; exit 1; }; \
+		case "$$out" in \
+		*"[no test files]"*) echo "cover: ./$$pkg has a floor but no test files"; exit 1;; \
+		esac; \
+		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage line for ./$$pkg:"; echo "$$out"; exit 1; fi; \
 		echo "cover: ./$$pkg $$pct% (floor $$floor%)"; \
 		awk -v p="$$pct" -v f="$$floor" 'BEGIN { exit !(p+0 >= f+0) }' || \
 			{ echo "cover: ./$$pkg fell below its $$floor% floor"; exit 1; }; \

@@ -1,0 +1,72 @@
+// Command banlint is the repo's determinism/fault-safety/unit linter:
+// a multichecker over the five repo-specific analyzers (nodeterm,
+// maporder, eventgen, floateq, unitconst). It exits non-zero when any
+// unsuppressed diagnostic survives, which is what gates `make ci`.
+//
+// Usage:
+//
+//	banlint [-q] [pattern ...]
+//
+// Patterns default to ./... (the whole module). Waive a finding with a
+// justified comment on or directly above the offending line:
+//
+//	//lint:allow <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint/banlint"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "suppress the summary line, print diagnostics only")
+	describe := flag.Bool("describe", false, "list the analyzers and the invariants they guard, then exit")
+	flag.Parse()
+
+	if *describe {
+		for _, a := range banlint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "banlint:", err)
+		os.Exit(2)
+	}
+	res, err := banlint.Run(moduleDir, flag.Args(), os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "banlint:", err)
+		os.Exit(2)
+	}
+	if !*quiet {
+		fmt.Printf("banlint: %d packages, %d diagnostics, %d waived\n",
+			res.Packages, res.Diagnostics, res.Waived)
+	}
+	if res.Diagnostics > 0 {
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -69,10 +69,10 @@ func report(p *msp.Program, listing bool) {
 		return counts[blocks[i].Leader]*blocks[i].Cycles > counts[blocks[j].Leader]*blocks[j].Cycles
 	})
 	for _, b := range blocks {
-		contrib := float64(counts[b.Leader] * b.Cycles)
-		if contrib == 0 {
+		if counts[b.Leader]*b.Cycles == 0 {
 			continue
 		}
+		contrib := float64(counts[b.Leader] * b.Cycles)
 		fmt.Printf("  %-8d %-8d %-10d %6.1f%%\n",
 			b.Leader, b.Cycles, counts[b.Leader], contrib/total*100)
 	}

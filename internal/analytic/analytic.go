@@ -16,6 +16,7 @@ package analytic
 import (
 	"fmt"
 
+	"repro/internal/approx"
 	"repro/internal/mac"
 	"repro/internal/packet"
 	"repro/internal/platform"
@@ -68,7 +69,7 @@ func Compute(s Scenario) (Estimate, error) {
 			s.Channels = 2
 		}
 	}
-	if s.HeartRateBPM == 0 {
+	if approx.Unset(s.HeartRateBPM) {
 		s.HeartRateBPM = 75
 	}
 	if s.Duration <= 0 {

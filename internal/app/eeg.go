@@ -1,6 +1,7 @@
 package app
 
 import (
+	"repro/internal/approx"
 	"repro/internal/codec"
 	"repro/internal/packet"
 )
@@ -55,13 +56,13 @@ func NewEEGPower(env Env, cfg EEGPowerConfig) *EEGPower {
 	if cfg.Channels <= 0 {
 		cfg.Channels = 24
 	}
-	if cfg.SampleRateHz == 0 {
+	if approx.Unset(cfg.SampleRateHz) {
 		cfg.SampleRateHz = 128
 	}
 	if cfg.SampleRateHz <= 0 {
 		panic("app: eeg sample rate must be positive")
 	}
-	if cfg.WindowSeconds == 0 {
+	if approx.Unset(cfg.WindowSeconds) {
 		cfg.WindowSeconds = 1
 	}
 	if cfg.WindowSeconds <= 0 {

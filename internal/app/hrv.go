@@ -3,6 +3,7 @@ package app
 import (
 	"math"
 
+	"repro/internal/approx"
 	"repro/internal/codec"
 	"repro/internal/ecg"
 	"repro/internal/packet"
@@ -44,7 +45,7 @@ type HRV struct {
 // NewHRV builds the application and configures the front-end.
 func NewHRV(env Env, cfg HRVConfig) *HRV {
 	env.validate()
-	if cfg.SampleRateHz == 0 {
+	if approx.Unset(cfg.SampleRateHz) {
 		cfg.SampleRateHz = 200
 	}
 	if cfg.SampleRateHz <= 0 {

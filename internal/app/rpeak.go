@@ -1,6 +1,7 @@
 package app
 
 import (
+	"repro/internal/approx"
 	"repro/internal/codec"
 	"repro/internal/ecg"
 	"repro/internal/packet"
@@ -39,7 +40,7 @@ type Rpeak struct {
 // NewRpeak builds the application and configures the front-end.
 func NewRpeak(env Env, cfg RpeakConfig) *Rpeak {
 	env.validate()
-	if cfg.SampleRateHz == 0 {
+	if approx.Unset(cfg.SampleRateHz) {
 		cfg.SampleRateHz = 200
 	}
 	if cfg.SampleRateHz <= 0 {

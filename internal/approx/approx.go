@@ -1,0 +1,44 @@
+// Package approx is the approved home for floating-point comparisons.
+// The floateq analyzer bans bare == / != on floats everywhere else in
+// the tree: energy and time figures are float64 sums of long
+// integration chains, and exact equality on such values encodes an
+// accident of rounding. The two legitimate shapes are an explicit
+// tolerance (Eq, Zero) and the exact zero-value sentinel test on
+// configuration fields that are set once and never computed (Unset).
+// Keeping all of them behind named helpers makes every remaining float
+// comparison in the repo grep-able and auditable.
+package approx
+
+import "math"
+
+// Eq reports whether a and b agree within the absolute tolerance eps.
+// NaN compares unequal to everything, matching IEEE intent.
+func Eq(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+// EqRel reports whether a and b agree within the relative tolerance
+// rel, falling back to an absolute comparison near zero so the check
+// does not degenerate when the reference value vanishes.
+func EqRel(a, b, rel float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale <= 1 {
+		return diff <= rel
+	}
+	return diff <= rel*scale
+}
+
+// Zero reports whether x lies within eps of zero.
+func Zero(x, eps float64) bool {
+	return math.Abs(x) <= eps
+}
+
+// Unset reports whether a configuration field still holds the exact
+// float zero value, i.e. was never assigned. The comparison is exact by
+// design: the zero here is the Go zero value of an untouched struct
+// field, not the result of arithmetic, so no rounding is involved. Do
+// not use Unset on computed values — that is what Zero is for.
+func Unset(x float64) bool {
+	return x == 0
+}

@@ -1,0 +1,50 @@
+package approx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	if !Eq(1.0, 1.0+1e-12, 1e-9) {
+		t.Error("Eq rejected values inside the tolerance")
+	}
+	if Eq(1.0, 1.1, 1e-9) {
+		t.Error("Eq accepted values outside the tolerance")
+	}
+	if Eq(math.NaN(), math.NaN(), 1) {
+		t.Error("Eq accepted NaN")
+	}
+}
+
+func TestEqRel(t *testing.T) {
+	if !EqRel(1000, 1000.5, 1e-3) {
+		t.Error("EqRel rejected 0.05% at scale 1000")
+	}
+	if EqRel(1000, 1010, 1e-3) {
+		t.Error("EqRel accepted 1% at scale 1000")
+	}
+	if !EqRel(0, 1e-6, 1e-3) {
+		t.Error("EqRel near zero must fall back to absolute comparison")
+	}
+}
+
+func TestZero(t *testing.T) {
+	if !Zero(1e-15, 1e-9) || Zero(1e-3, 1e-9) {
+		t.Error("Zero tolerance misapplied")
+	}
+}
+
+func TestUnset(t *testing.T) {
+	var cfg struct{ RateHz float64 }
+	if !Unset(cfg.RateHz) {
+		t.Error("zero value must read as unset")
+	}
+	cfg.RateHz = 128
+	if Unset(cfg.RateHz) {
+		t.Error("assigned value must not read as unset")
+	}
+	if !Unset(-0.0) {
+		t.Error("negative zero is still the zero value")
+	}
+}

@@ -13,6 +13,7 @@ package battery
 import (
 	"fmt"
 
+	"repro/internal/approx"
 	"repro/internal/sim"
 )
 
@@ -27,19 +28,35 @@ type Battery struct {
 	Efficiency float64
 }
 
+// Cell ratings, named with their unit (banlint/unitconst): the numbers
+// come from the respective datasheets.
+const (
+	cr2032CapacityMAh  = 220
+	cr2032VoltageV     = 3.0
+	lipo160CapacityMAh = 160
+	lipo160VoltageV    = 3.7
+	// defaultEfficiency derates rated to usable capacity (conversion
+	// losses + rate effects), dimensionless.
+	defaultEfficiency = 0.85
+)
+
 // CR2032 returns a 220 mAh lithium coin cell, a typical wearable-node
 // supply.
-func CR2032() Battery { return Battery{CapacityMAh: 220, VoltageV: 3.0, Efficiency: 0.85} }
+func CR2032() Battery {
+	return Battery{CapacityMAh: cr2032CapacityMAh, VoltageV: cr2032VoltageV, Efficiency: defaultEfficiency}
+}
 
 // LiPo160 returns a small 160 mAh lithium-polymer pouch cell like the
 // one on the IMEC node.
-func LiPo160() Battery { return Battery{CapacityMAh: 160, VoltageV: 3.7, Efficiency: 0.85} }
+func LiPo160() Battery {
+	return Battery{CapacityMAh: lipo160CapacityMAh, VoltageV: lipo160VoltageV, Efficiency: defaultEfficiency}
+}
 
 // UsableJ reports the usable energy in joules.
 func (b Battery) UsableJ() float64 {
 	eff := b.Efficiency
-	if eff == 0 {
-		eff = 0.85
+	if approx.Unset(eff) {
+		eff = defaultEfficiency
 	}
 	return b.CapacityMAh / 1e3 * 3600 * b.VoltageV * eff
 }

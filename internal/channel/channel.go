@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/approx"
 	"repro/internal/sim"
 )
 
@@ -101,7 +102,7 @@ type BurstModel struct {
 
 // MeanBER reports the long-run average bit error rate of the process.
 func (b BurstModel) MeanBER() float64 {
-	if b.PGoodToBad+b.PBadToGood == 0 {
+	if approx.Unset(b.PGoodToBad) && approx.Unset(b.PBadToGood) {
 		return b.BERGood
 	}
 	pBad := b.PGoodToBad / (b.PGoodToBad + b.PBadToGood)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/app"
+	"repro/internal/approx"
 	"repro/internal/body"
 	"repro/internal/channel"
 	"repro/internal/ecg"
@@ -158,17 +159,17 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("core: streaming needs a positive SampleRateHz")
 		}
 	case AppRpeak, AppHRV:
-		if c.SampleRateHz == 0 {
+		if approx.Unset(c.SampleRateHz) {
 			c.SampleRateHz = 200
 		}
 	case AppEEG:
-		if c.SampleRateHz == 0 {
+		if approx.Unset(c.SampleRateHz) {
 			c.SampleRateHz = 128
 		}
 	default:
 		return fmt.Errorf("core: unknown app %q", c.App)
 	}
-	if c.HeartRateBPM == 0 {
+	if approx.Unset(c.HeartRateBPM) {
 		c.HeartRateBPM = 75
 	}
 	if c.Duration <= 0 {

@@ -14,6 +14,7 @@ package ecg
 import (
 	"math"
 
+	"repro/internal/approx"
 	"repro/internal/codec"
 )
 
@@ -66,7 +67,7 @@ func NewGenerator(p Params) *Generator {
 	if p.HeartRateBPM <= 0 {
 		panic("ecg: heart rate must be positive")
 	}
-	if p.Amplitude == 0 {
+	if approx.Unset(p.Amplitude) {
 		p.Amplitude = 0.6
 	}
 	return &Generator{p: p, period: 60.0 / p.HeartRateBPM}

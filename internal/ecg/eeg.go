@@ -3,6 +3,7 @@ package ecg
 import (
 	"math"
 
+	"repro/internal/approx"
 	"repro/internal/codec"
 )
 
@@ -33,13 +34,13 @@ type EEGGenerator struct {
 
 // NewEEGGenerator applies defaults and builds a generator.
 func NewEEGGenerator(p EEGParams) *EEGGenerator {
-	if p.AlphaAmp == 0 && p.ThetaAmp == 0 && p.BetaAmp == 0 {
+	if approx.Unset(p.AlphaAmp) && approx.Unset(p.ThetaAmp) && approx.Unset(p.BetaAmp) {
 		p.AlphaAmp, p.ThetaAmp, p.BetaAmp = 0.5, 0.2, 0.12
 	}
-	if p.NoiseAmp == 0 {
+	if approx.Unset(p.NoiseAmp) {
 		p.NoiseAmp = 0.08
 	}
-	if p.Amplitude == 0 {
+	if approx.Unset(p.Amplitude) {
 		p.Amplitude = 0.5
 	}
 	return &EEGGenerator{p: p}

@@ -126,11 +126,14 @@ func (m *Meter) Reset(now sim.Time) {
 }
 
 // EnergyJ reports the total energy in joules accumulated across all
-// states, E = sum_s I_s·V_s·t_s.
+// states, E = sum_s I_s·V_s·t_s. The sum runs over the sorted state
+// list: float addition is not associative, so summing in map order
+// would let the iteration order leak into the last bits of the total
+// and break exact run-to-run invariance.
 func (m *Meter) EnergyJ() float64 {
 	var e float64
-	for s, t := range m.timeIn {
-		e += m.draws[s].Power() * t.Seconds()
+	for _, s := range m.States() {
+		e += m.draws[s].Power() * m.timeIn[s].Seconds()
 	}
 	return e
 }
@@ -246,11 +249,13 @@ func (l *Ledger) Reset(now sim.Time) {
 	l.losses = make(map[LossCategory]float64)
 }
 
-// TotalJ reports the node's total energy across all components.
+// TotalJ reports the node's total energy across all components, summed
+// in registration order so the float total is bit-identical run to run
+// (map iteration order must not reach a float accumulation).
 func (l *Ledger) TotalJ() float64 {
 	var e float64
-	for _, m := range l.meters {
-		e += m.EnergyJ()
+	for _, name := range l.order {
+		e += l.meters[name].EnergyJ()
 	}
 	return e
 }

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// The escape hatch: a comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// waives diagnostics from the named analyzer on the comment's own line
+// and on the line directly below it, so it can sit either at the end of
+// the offending line or on its own line immediately above. The reason
+// is mandatory — a waiver without a recorded justification is itself a
+// diagnostic, because an unexplained suppression is exactly the silent
+// invariant erosion banlint exists to stop.
+var allowRe = regexp.MustCompile(`^lint:allow\s+([A-Za-z][A-Za-z0-9_]*)\s*(.*)$`)
+
+// allowedLine is one (analyzer, file, line) waiver grant.
+type allowedLine struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+// CollectAllows scans the package's comments for //lint:allow waivers.
+// known maps analyzer names that exist; a waiver naming an unknown
+// analyzer or lacking a reason is returned as a malformed-waiver
+// diagnostic (attributed to the pseudo-analyzer "banlint") rather than
+// silently granted.
+func CollectAllows(pkg *Package, known map[string]bool) (map[allowedLine]bool, []Diagnostic) {
+	grants := make(map[allowedLine]bool)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := allowRe.FindStringSubmatch(text)
+				switch {
+				case m == nil:
+					bad = append(bad, Diagnostic{Pos: c.Pos(), Analyzer: "banlint",
+						Message: "malformed waiver: want //lint:allow <analyzer> <reason>"})
+				case !known[m[1]]:
+					bad = append(bad, Diagnostic{Pos: c.Pos(), Analyzer: "banlint",
+						Message: "waiver names unknown analyzer " + m[1]})
+				case strings.TrimSpace(m[2]) == "":
+					bad = append(bad, Diagnostic{Pos: c.Pos(), Analyzer: "banlint",
+						Message: "waiver for " + m[1] + " has no reason; justify the suppression"})
+				default:
+					grants[allowedLine{m[1], pos.Filename, pos.Line}] = true
+					grants[allowedLine{m[1], pos.Filename, pos.Line + 1}] = true
+				}
+			}
+		}
+	}
+	return grants, bad
+}
+
+// Suppress partitions diagnostics into kept and waived according to the
+// collected grants.
+func Suppress(fset *token.FileSet, diags []Diagnostic, grants map[allowedLine]bool) (kept, waived []Diagnostic) {
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if grants[allowedLine{d.Analyzer, pos.Filename, pos.Line}] {
+			waived = append(waived, d)
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, waived
+}
+
+// PosString renders a diagnostic position as path:line:col relative to
+// base when possible, for compact stable output.
+func PosString(fset *token.FileSet, pos token.Pos, base string) string {
+	p := fset.Position(pos)
+	name := p.Filename
+	if base != "" {
+		if rel, ok := strings.CutPrefix(name, strings.TrimSuffix(base, "/")+"/"); ok {
+			name = rel
+		}
+	}
+	return name + ":" + strconv.Itoa(p.Line) + ":" + strconv.Itoa(p.Column)
+}

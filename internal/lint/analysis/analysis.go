@@ -1,0 +1,108 @@
+// Package analysis is a hermetic, stdlib-only counterpart of
+// golang.org/x/tools/go/analysis: just enough framework to write
+// repo-specific static checkers ("banlint") without an external module
+// dependency. An Analyzer inspects one type-checked package at a time
+// through a Pass and reports Diagnostics; the loader in this package
+// type-checks packages from source (module code and the standard
+// library alike), so the suite runs offline and needs no compiled
+// export data.
+//
+// The shape mirrors x/tools deliberately — Name/Doc/Run on Analyzer,
+// Fset/Files/TypesInfo/Report on Pass — so the suite can be rebased
+// onto the real go/analysis multichecker if the dependency ever lands.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//lint:allow <name> <reason>" suppression comments. It must be a
+	// valid identifier.
+	Name string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// guards, shown by "banlint -help".
+	Doc string
+	// Run performs the check on one package and reports findings
+	// through pass.Report. A non-nil error aborts the whole run (it
+	// means the analyzer itself failed, not that the code is bad).
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding, positioned inside pass.Fset.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test syntax trees, comments included.
+	Files []*ast.File
+	// Path is the package's import path ("repro/internal/sim").
+	Path string
+	// Pkg and TypesInfo are the go/types views of the package.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Report records a finding.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	*p.diags = append(*p.diags, d)
+}
+
+// Reportf records a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Run applies every analyzer to the loaded package and returns the raw
+// (unsuppressed) diagnostics sorted by position. Suppression via
+// "//lint:allow" comments is a separate, explicit step (Suppress) so
+// that callers can report how many findings a waiver hid.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Path:      pkg.Path,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzing %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	SortDiagnostics(pkg.Fset, diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders diagnostics by file name, then offset, then
+// analyzer name, so banlint output is stable run to run.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Offset != pj.Offset {
+			return pi.Offset < pj.Offset
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader resolves import paths to directories and type-checks packages
+// entirely from source: module-internal paths resolve under ModuleDir,
+// everything else under GOROOT/src (with the stdlib vendor fallback).
+// No module proxy, no compiled export data — the container this runs in
+// is offline by design, and the simulation's determinism gate must not
+// depend on the network either.
+type Loader struct {
+	// ModulePath and ModuleDir anchor module-internal import paths
+	// ("repro/..." -> /repo checkout).
+	ModulePath string
+	ModuleDir  string
+	// FixtureDir, when non-empty, is an analysistest fixture root:
+	// import paths resolve under FixtureDir/src before anything else,
+	// mirroring the GOPATH-style layout x/tools' analysistest uses.
+	FixtureDir string
+
+	Fset *token.FileSet
+
+	ctxt     build.Context
+	imported map[string]*types.Package
+	local    map[string]*Package
+	loading  map[string]bool
+}
+
+// NewLoader creates a loader rooted at moduleDir, reading the module
+// path from its go.mod. moduleDir may be "" when only fixture packages
+// will be loaded.
+func NewLoader(moduleDir string) (*Loader, error) {
+	l := &Loader{ModuleDir: moduleDir}
+	if moduleDir != "" {
+		mp, err := modulePath(filepath.Join(moduleDir, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+		l.ModulePath = mp
+	}
+	l.init()
+	return l, nil
+}
+
+func (l *Loader) init() {
+	if l.imported != nil {
+		return
+	}
+	if l.Fset == nil {
+		l.Fset = token.NewFileSet()
+	}
+	l.ctxt = build.Default
+	// Pure-Go file sets everywhere: cgo variants of stdlib packages
+	// would drag in C translation units go/types cannot check.
+	l.ctxt.CgoEnabled = false
+	l.imported = make(map[string]*types.Package)
+	l.local = make(map[string]*Package)
+	l.loading = make(map[string]bool)
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module line in %s", gomod)
+}
+
+// dir maps an import path to the directory holding its sources.
+func (l *Loader) dir(path string) (string, error) {
+	if l.FixtureDir != "" {
+		d := filepath.Join(l.FixtureDir, "src", filepath.FromSlash(path))
+		if fi, err := os.Stat(d); err == nil && fi.IsDir() {
+			return d, nil
+		}
+	}
+	if l.ModulePath != "" {
+		if path == l.ModulePath {
+			return l.ModuleDir, nil
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+			return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), nil
+		}
+	}
+	goroot := l.ctxt.GOROOT
+	for _, d := range []string{
+		filepath.Join(goroot, "src", filepath.FromSlash(path)),
+		filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path)),
+	} {
+		if fi, err := os.Stat(d); err == nil && fi.IsDir() {
+			return d, nil
+		}
+	}
+	return "", fmt.Errorf("cannot resolve import %q", path)
+}
+
+// Import implements types.Importer so that dependency packages are
+// themselves loaded from source, recursively.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	l.init()
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.imported[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	return l.load(path)
+}
+
+// LoadPackage loads path with full syntax and type information retained
+// for analysis. Every package is type-checked at most once per loader —
+// re-checking an already-imported path would mint a second
+// *types.Package for it and break type identity across the module — so
+// syntax and Info are retained eagerly for all local (module/fixture)
+// packages, whichever of Import or LoadPackage reaches them first.
+func (l *Loader) LoadPackage(path string) (*Package, error) {
+	l.init()
+	if pkg, ok := l.local[path]; ok {
+		return pkg, nil
+	}
+	if _, err := l.load(path); err != nil {
+		return nil, err
+	}
+	pkg, ok := l.local[path]
+	if !ok {
+		return nil, fmt.Errorf("%s is not a module or fixture package; only local packages can be analyzed", path)
+	}
+	return pkg, nil
+}
+
+// load parses and type-checks one package. Type errors are fatal for
+// module/fixture packages (the analysis target must be sound) but
+// tolerated for dependencies as long as go/types produced a usable
+// package object — the standard library occasionally needs compiler
+// intrinsics the source checker cannot model.
+func (l *Loader) load(path string) (*types.Package, error) {
+	dir, err := l.dir(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	retain := l.isLocal(path)
+	var info *types.Info
+	if retain {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer:    l,
+		Sizes:       types.SizesFor("gc", l.ctxt.GOARCH),
+		FakeImportC: true,
+		Error:       func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	l.loading[path] = true
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	delete(l.loading, path)
+	if len(typeErrs) > 0 && (retain || tpkg == nil) {
+		return nil, fmt.Errorf("type-checking %s: %v", path, typeErrs[0])
+	}
+	if tpkg == nil {
+		return nil, fmt.Errorf("type-checking %s produced no package", path)
+	}
+	tpkg.MarkComplete()
+	l.imported[path] = tpkg
+	if retain {
+		l.local[path] = &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	}
+	return tpkg, nil
+}
+
+// isLocal reports whether path belongs to the module or a fixture tree
+// (i.e. the code under analysis, where type errors must be fatal).
+func (l *Loader) isLocal(path string) bool {
+	if l.ModulePath != "" && (path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")) {
+		return true
+	}
+	if l.FixtureDir != "" {
+		d := filepath.Join(l.FixtureDir, "src", filepath.FromSlash(path))
+		if fi, err := os.Stat(d); err == nil && fi.IsDir() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/types"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// moduleRoot walks up from this file to the directory holding go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+// The loader must type-check module packages (and their stdlib
+// dependencies) entirely from source, offline.
+func TestLoadModulePackage(t *testing.T) {
+	l, err := NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadPackage("repro/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Name() != "sim" {
+		t.Fatalf("package name = %q, want sim", pkg.Types.Name())
+	}
+	if len(pkg.Files) == 0 {
+		t.Fatal("no files retained")
+	}
+	kernel := pkg.Types.Scope().Lookup("Kernel")
+	if kernel == nil {
+		t.Fatal("sim.Kernel not found in package scope")
+	}
+	if _, ok := kernel.Type().Underlying().(*types.Struct); !ok {
+		t.Fatalf("sim.Kernel is %T, want struct", kernel.Type().Underlying())
+	}
+}
+
+// Packages that depend on other module packages must resolve through
+// the module path mapping.
+func TestLoadTransitiveModuleDeps(t *testing.T) {
+	l, err := NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadPackage("repro/internal/energy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := pkg.Types.Scope().Lookup("Meter")
+	if meter == nil {
+		t.Fatal("energy.Meter not found")
+	}
+}

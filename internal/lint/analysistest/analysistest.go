@@ -1,0 +1,125 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against expectations embedded in the fixtures,
+// mirroring golang.org/x/tools/go/analysis/analysistest: a line that
+// should be flagged carries a trailing comment
+//
+//	// want "regexp"
+//
+// and the harness fails the test when a diagnostic has no matching
+// want, or a want has no matching diagnostic. Fixtures live under
+// <testdata>/src/<importpath>/ exactly like the GOPATH-style layout the
+// real analysistest uses, and //lint:allow waivers are honored so each
+// analyzer's escape hatch is testable too.
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// A want expectation holds one regexp, double-quoted or backquoted.
+var wantRe = regexp.MustCompile(`//\s*want\s+("(?:[^"\\]|\\.)*"|` + "`[^`]*`" + `)\s*$`)
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package under testdata/src, applies the
+// analyzer, and compares diagnostics to // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader, err := analysis.NewLoader("")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	loader.FixtureDir = testdata
+	for _, path := range pkgPaths {
+		pkg, err := loader.LoadPackage(path)
+		if err != nil {
+			t.Fatalf("loading fixture %q: %v", path, err)
+		}
+		diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %q: %v", a.Name, path, err)
+		}
+		grants, bad := analysis.CollectAllows(pkg, map[string]bool{a.Name: true})
+		for _, d := range bad {
+			t.Errorf("%s: %s", analysis.PosString(pkg.Fset, d.Pos, ""), d.Message)
+		}
+		kept, _ := analysis.Suppress(pkg.Fset, diags, grants)
+		check(t, pkg, a.Name, kept)
+	}
+}
+
+// check matches kept diagnostics against the fixture's want comments.
+func check(t *testing.T, pkg *analysis.Package, name string, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		w := findWant(wants, pos)
+		if w == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", posString(pos), d.Message)
+			continue
+		}
+		if !w.re.MatchString(d.Message) {
+			t.Errorf("%s: diagnostic %q does not match want %q", posString(pos), d.Message, w.re)
+		}
+		w.matched = true
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %q: no diagnostic reported (%s stayed quiet)", w.file, w.line, w.re, name)
+		}
+	}
+}
+
+func findWant(wants []*want, pos token.Position) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line {
+			return w
+		}
+	}
+	return nil
+}
+
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want ") {
+						t.Fatalf("%s: malformed want comment %q", posString(pkg.Fset.Position(c.Pos())), c.Text)
+					}
+					continue
+				}
+				pat, err := strconv.Unquote(m[1])
+				if err != nil {
+					t.Fatalf("unquoting want %q: %v", m[1], err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("compiling want %q: %v", pat, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+func posString(p token.Position) string {
+	return p.Filename + ":" + strconv.Itoa(p.Line) + ":" + strconv.Itoa(p.Column)
+}

@@ -1,0 +1,169 @@
+// Package banlint assembles the repo's analyzer suite into a
+// multichecker: it enumerates the module's packages, loads each one
+// from source, applies every analyzer, honours //lint:allow waivers and
+// renders the surviving diagnostics. cmd/banlint is the thin CLI over
+// this package; keeping the driver here makes it testable in-process.
+package banlint
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/eventgen"
+	"repro/internal/lint/floateq"
+	"repro/internal/lint/maporder"
+	"repro/internal/lint/nodeterm"
+	"repro/internal/lint/unitconst"
+)
+
+// Analyzers returns the full suite in stable (alphabetical) order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		eventgen.Analyzer,
+		floateq.Analyzer,
+		maporder.Analyzer,
+		nodeterm.Analyzer,
+		unitconst.Analyzer,
+	}
+}
+
+// Result summarises one multichecker run.
+type Result struct {
+	Packages    int
+	Diagnostics int // unsuppressed findings (non-zero fails CI)
+	Waived      int // findings silenced by //lint:allow
+}
+
+// Run analyzes the packages selected by patterns inside the module
+// rooted at moduleDir, writing diagnostics to out. Patterns are either
+// "./..." (the whole module) or directory paths relative to the module
+// root ("./internal/sim", "internal/sim").
+func Run(moduleDir string, patterns []string, out io.Writer) (Result, error) {
+	var res Result
+	loader, err := analysis.NewLoader(moduleDir)
+	if err != nil {
+		return res, err
+	}
+	paths, err := selectPackages(moduleDir, loader.ModulePath, patterns)
+	if err != nil {
+		return res, err
+	}
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, path := range paths {
+		pkg, err := loader.LoadPackage(path)
+		if err != nil {
+			return res, err
+		}
+		res.Packages++
+		diags, err := analysis.Run(pkg, Analyzers())
+		if err != nil {
+			return res, err
+		}
+		grants, malformed := analysis.CollectAllows(pkg, known)
+		kept, waived := analysis.Suppress(pkg.Fset, diags, grants)
+		kept = append(kept, malformed...)
+		analysis.SortDiagnostics(pkg.Fset, kept)
+		res.Waived += len(waived)
+		res.Diagnostics += len(kept)
+		for _, d := range kept {
+			fmt.Fprintf(out, "%s: %s (%s)\n", analysis.PosString(pkg.Fset, d.Pos, moduleDir), d.Message, d.Analyzer)
+		}
+	}
+	return res, nil
+}
+
+// selectPackages maps patterns to module-relative import paths, sorted.
+func selectPackages(moduleDir, modulePath string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	set := make(map[string]bool)
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			all, err := walkPackages(moduleDir, modulePath)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range all {
+				set[p] = true
+			}
+		default:
+			rel := strings.TrimPrefix(pat, "./")
+			dir := filepath.Join(moduleDir, filepath.FromSlash(rel))
+			if !hasGoFiles(dir) {
+				return nil, fmt.Errorf("no Go files in %s", dir)
+			}
+			if rel == "." || rel == "" {
+				set[modulePath] = true
+			} else {
+				set[modulePath+"/"+filepath.ToSlash(rel)] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// walkPackages finds every directory under root that holds non-test Go
+// files, skipping testdata, VCS internals and underscore/dot dirs.
+func walkPackages(root, modulePath string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if !hasGoFiles(path) {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			out = append(out, modulePath)
+		} else {
+			out = append(out, modulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	return out, err
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+package banlint
+
+import (
+	"bytes"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// moduleRoot locates the repo root from this file's position so the
+// tests work regardless of the working directory `go test` uses.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+func TestRegistry(t *testing.T) {
+	as := Analyzers()
+	if len(as) != 5 {
+		t.Fatalf("suite has %d analyzers, want 5", len(as))
+	}
+	seen := make(map[string]bool)
+	prev := ""
+	for _, a := range as {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Name < prev {
+			t.Errorf("analyzers out of alphabetical order: %q after %q", a.Name, prev)
+		}
+		prev = a.Name
+	}
+	for _, want := range []string{"eventgen", "floateq", "maporder", "nodeterm", "unitconst"} {
+		if !seen[want] {
+			t.Errorf("suite is missing analyzer %q", want)
+		}
+	}
+}
+
+// TestRunCleanPackage drives the full pipeline (loader, suite, waiver
+// pass, rendering) over a real package that must stay diagnostic-free.
+func TestRunCleanPackage(t *testing.T) {
+	root := moduleRoot(t)
+	var out bytes.Buffer
+	res, err := Run(root, []string{"./internal/approx"}, &out)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Packages != 1 {
+		t.Errorf("Packages = %d, want 1", res.Packages)
+	}
+	if res.Diagnostics != 0 {
+		t.Errorf("Diagnostics = %d, want 0; output:\n%s", res.Diagnostics, out.String())
+	}
+}
+
+// TestRunSimCone exercises the analyzers over the simulation kernel and
+// the energy model — the packages whose invariants banlint exists to
+// guard — and requires them to be clean.
+func TestRunSimCone(t *testing.T) {
+	root := moduleRoot(t)
+	var out bytes.Buffer
+	res, err := Run(root, []string{"./internal/sim", "./internal/energy", "internal/battery"}, &out)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Packages != 3 {
+		t.Errorf("Packages = %d, want 3", res.Packages)
+	}
+	if res.Diagnostics != 0 {
+		t.Errorf("Diagnostics = %d, want 0; output:\n%s", res.Diagnostics, out.String())
+	}
+}
+
+func TestSelectPackagesUnknownDir(t *testing.T) {
+	root := moduleRoot(t)
+	if _, err := selectPackages(root, "repro", []string{"./no/such/dir"}); err == nil {
+		t.Fatal("selectPackages accepted a directory without Go files")
+	}
+}

@@ -1,0 +1,12 @@
+package eventgen_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/eventgen"
+)
+
+func TestEventgen(t *testing.T) {
+	analysistest.Run(t, "testdata", eventgen.Analyzer, "a")
+}

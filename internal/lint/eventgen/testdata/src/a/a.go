@@ -1,0 +1,60 @@
+// Fixture for the eventgen analyzer: callbacks capturing a crash-aware
+// component (struct with a gen field) must recheck the generation.
+package a
+
+import "sim"
+
+// nodeMac is crash-aware: it carries the gen counter bumped on every
+// crash/reboot.
+type nodeMac struct {
+	k     *sim.Kernel
+	gen   uint64
+	armed bool
+}
+
+// armUnchecked captures m but never consults the generation: a reboot
+// leaves this event live and it resurrects pre-crash state. Flagged.
+func (m *nodeMac) armUnchecked() {
+	m.k.Schedule(5, func(*sim.Kernel) { // want `scheduled callback captures crash-aware m but never checks its generation`
+		m.armed = true
+	})
+}
+
+// armChecked follows the convention: capture the generation outside,
+// bail when it moved. Quiet.
+func (m *nodeMac) armChecked() {
+	gen := m.gen
+	m.k.Schedule(5, func(*sim.Kernel) {
+		if m.gen != gen {
+			return // armed before a crash
+		}
+		m.armed = true
+	})
+}
+
+// timerUnchecked reaches the kernel through sim.NewTimer: same rule.
+func (m *nodeMac) timerUnchecked() *sim.Timer {
+	return sim.NewTimer(m.k, func(*sim.Kernel) { // want `scheduled callback captures crash-aware m`
+		m.armed = true
+	})
+}
+
+// injector has no gen field: it deliberately survives crashes (it is
+// the thing that *causes* them), so its callbacks are unconstrained.
+type injector struct {
+	k     *sim.Kernel
+	fired int
+}
+
+func (inj *injector) arm() {
+	inj.k.ScheduleAt(7, func(*sim.Kernel) {
+		inj.fired++
+	})
+}
+
+// armWaived shows the escape hatch.
+func (m *nodeMac) armWaived() {
+	m.k.Schedule(5, func(*sim.Kernel) { //lint:allow eventgen boot-time arming, provably before any crash can be scheduled
+		m.armed = true
+	})
+}

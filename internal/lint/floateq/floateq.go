@@ -1,0 +1,75 @@
+// Package floateq flags == and != between floating-point values. The
+// model's energy and time figures are float64 sums of long integration
+// chains; exact comparison of such values encodes an accident of
+// rounding, and a refactor that merely reassociates an addition flips
+// the result. Comparisons belong inside a dedicated helper whose name
+// states the intent (approxEqual, withinEpsilon, Unset, ... — see
+// internal/approx, the canonical home), which the analyzer recognises
+// by name and leaves alone; the x != x NaN idiom is also exempt.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= on floating-point operands outside named epsilon helpers; " +
+		"exact float equality encodes rounding accidents",
+	Run: run,
+}
+
+// epsilonHelper matches function names that declare themselves to be
+// approximate comparisons — or the exact zero-value sentinel test on
+// never-computed config fields (approx.Unset); float equality inside
+// them is the approved implementation site. internal/approx is the
+// canonical home for these helpers.
+var epsilonHelper = regexp.MustCompile(`(?i)(approx|almost|epsilon|within|close|near|toler|unset)`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if epsilonHelper.MatchString(fd.Name.Name) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(pass, be.X) && !isFloat(pass, be.Y) {
+			return true
+		}
+		// x != x is the portable NaN test; keep it.
+		if types.ExprString(be.X) == types.ExprString(be.Y) {
+			return true
+		}
+		pass.Reportf(be.OpPos, "exact float comparison (%s) is rounding-fragile; use an epsilon helper (approxEqual-style) instead", be.Op)
+		return true
+	})
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,64 @@
+// Fixture for the floateq analyzer: exact float comparisons must be
+// flagged anywhere, epsilon helpers and the NaN idiom must stay quiet.
+package floateq
+
+// Same compares two energy totals bit-exactly: flagged.
+func Same(a, b float64) bool {
+	return a == b // want `exact float comparison \(==\) is rounding-fragile`
+}
+
+// Changed compares with !=: flagged.
+func Changed(a, b float64) bool {
+	return a != b // want `exact float comparison \(!=\) is rounding-fragile`
+}
+
+// Zero sentinels are comparisons too — still rounding-fragile after
+// any arithmetic has touched the value: flagged.
+func Zero(e float64) bool {
+	return e == 0 // want `exact float comparison \(==\)`
+}
+
+// Narrow float32 operands are equally fragile: flagged.
+func Narrow(a, b float32) bool {
+	return a == b // want `exact float comparison`
+}
+
+// approxEqual is a named epsilon helper: the exact comparison inside it
+// is the approved implementation site, quiet.
+func approxEqual(a, b, eps float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+// WithinTolerance also matches the helper naming convention: quiet.
+func WithinTolerance(a, b float64) bool {
+	return a == b
+}
+
+// Unset is the zero-value sentinel helper shape (approx.Unset): the
+// exact comparison against the never-computed zero value is approved
+// inside it, quiet.
+func Unset(x float64) bool {
+	return x == 0
+}
+
+// IsNaN uses the portable self-comparison idiom: quiet.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// Ints compare exactly by nature: quiet.
+func Ints(a, b int64) bool {
+	return a == b
+}
+
+// Waived shows the escape hatch.
+func Waived(a, b float64) bool {
+	return a == b //lint:allow floateq comparing against a stored golden computed by identical code
+}

@@ -1,0 +1,189 @@
+// Package maporder flags logic whose observable result depends on Go's
+// randomized map iteration order — the bug class the key-sorted
+// metrics.Snapshot was built to avoid. Three effects inside a
+// `for ... range m` over a map are order-sensitive:
+//
+//   - appending to a slice that is never subsequently sorted (the
+//     slice's element order then differs run to run);
+//   - accumulating into a float with += or -= (float addition is not
+//     associative, so even a commutative-looking sum changes in the
+//     last bits with the visit order — enough to break exact
+//     worker-invariance checks);
+//   - writing output or sending on a channel directly from the loop
+//     body (the externally visible order is the iteration order).
+//
+// The approved fix is the snapshot idiom: collect the keys, sort them,
+// then range over the sorted keys.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag map-range bodies whose effect depends on iteration order: unsorted appends, " +
+		"float accumulation, direct output or channel sends; sort the keys first",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkFunc inspects one function; the collect-then-sort exemption only
+// recognises sorts inside the same function, so a sort elsewhere in the
+// file cannot mask an unsorted append.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	sorts := collectSortCalls(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkBody(pass, rng, sorts)
+		return true
+	})
+}
+
+// checkBody inspects one map-range body for order-sensitive effects.
+func checkBody(pass *analysis.Pass, rng *ast.RangeStmt, sorts []sortCall) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside a map range publishes values in iteration order; collect and sort first")
+		case *ast.AssignStmt:
+			checkAssign(pass, rng, n, sorts)
+		case *ast.CallExpr:
+			if name, ok := outputCall(pass, n); ok {
+				pass.Reportf(n.Pos(), "%s inside a map range emits output in iteration order; range over sorted keys instead", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign flags unsorted appends and float accumulation.
+func checkAssign(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt, sorts []sortCall) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if t, ok := pass.TypesInfo.Types[as.Lhs[0]]; ok && isFloat(t.Type) {
+			pass.Reportf(as.Pos(), "float accumulation over a map range is order-dependent (addition is not associative); range over sorted keys")
+		}
+	case token.ASSIGN, token.DEFINE:
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) {
+			return
+		}
+		target := types.ExprString(as.Lhs[0])
+		for _, s := range sorts {
+			if s.target == target && s.pos > rng.End() {
+				return // the canonical collect-then-sort idiom
+			}
+		}
+		pass.Reportf(as.Pos(), "append inside a map range without sorting %s afterwards leaves it in iteration order; sort it before use", target)
+	}
+}
+
+// sortCall records that a sort/slices ordering call is applied to the
+// expression rendered as target, at pos.
+type sortCall struct {
+	target string
+	pos    token.Pos
+}
+
+// collectSortCalls records every sort.*/slices.* call in the function
+// body together with the expression it orders, so appends that feed the
+// collect-then-sort idiom can be recognised.
+func collectSortCalls(pass *analysis.Pass, body *ast.BlockStmt) []sortCall {
+	var out []sortCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+			out = append(out, sortCall{target: types.ExprString(call.Args[0]), pos: call.Pos()})
+		}
+		return true
+	})
+	return out
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// outputCall reports whether call writes externally visible output:
+// fmt printing (including Fprint to a writer) or a Write*/print method
+// on a writer-shaped receiver.
+func outputCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	name := fn.Name()
+	if sig.Recv() == nil {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+			(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Print", "Printf", "Println":
+		return name, true
+	}
+	return "", false
+}

@@ -1,0 +1,79 @@
+// Fixture for the maporder analyzer: order-sensitive effects inside
+// map ranges must be flagged; the collect-then-sort snapshot idiom and
+// commutative accumulation must stay quiet.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// UnsortedKeys appends in iteration order and never sorts: flagged.
+func UnsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append inside a map range without sorting keys afterwards`
+	}
+	return keys
+}
+
+// SortedKeys is the approved snapshot idiom: quiet.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// FloatSum accumulates float64 in iteration order: flagged (addition
+// is not associative, the low bits depend on visit order).
+func FloatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `float accumulation over a map range is order-dependent`
+	}
+	return total
+}
+
+// IntSum is commutative and exact: quiet.
+func IntSum(m map[string]int) int {
+	var total int
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// PrintAll writes output in iteration order: flagged.
+func PrintAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside a map range emits output in iteration order`
+	}
+}
+
+// SendAll publishes values in iteration order: flagged.
+func SendAll(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside a map range publishes values in iteration order`
+	}
+}
+
+// SliceRange is not a map range at all: quiet.
+func SliceRange(xs []float64) float64 {
+	var total float64
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// Waived shows the escape hatch silencing a finding.
+func Waived(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v //lint:allow maporder run-summary display only, never compared bit-exactly
+	}
+	return total
+}

@@ -1,0 +1,106 @@
+// Package nodeterm forbids ambient nondeterminism inside the
+// simulation cone. The paper's 4–6% energy-error claim only reproduces
+// when a run is a pure function of (Config, Seed); one stray time.Now,
+// global math/rand draw or environment read silently breaks golden runs
+// and worker invariance. Wall-clock time, the process-global random
+// source and the environment are therefore banned in the packages that
+// the kernel, the models and the metrics pipeline are built from — all
+// randomness must flow from seeded *rand.Rand sources derived via
+// sim.Kernel.Rand or runner.DeriveSeed, and all time from the kernel's
+// virtual clock.
+package nodeterm
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeterm",
+	Doc: "forbid wall-clock time, global math/rand and environment reads in the simulation cone; " +
+		"randomness must come from a seeded source (sim.Kernel.Rand / runner.DeriveSeed) and time from the virtual clock",
+	Run: run,
+}
+
+// coneSegments name the packages whose behaviour must be a pure
+// function of (Config, Seed). A package is in the cone when any segment
+// of its import path matches.
+var coneSegments = map[string]bool{
+	"sim": true, "core": true, "mac": true, "channel": true, "fault": true,
+	"radio": true, "mcu": true, "node": true, "metrics": true,
+}
+
+// InCone reports whether the import path lies inside the deterministic
+// simulation cone.
+func InCone(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if coneSegments[seg] {
+			return true
+		}
+	}
+	return false
+}
+
+// bannedTime are the wall-clock entry points of package time. Types and
+// constants (time.Duration, time.Millisecond) remain fine.
+var bannedTime = map[string]string{
+	"Now":       "read the virtual clock (sim.Kernel.Now) instead",
+	"Since":     "compute spans from sim.Time instants instead",
+	"Until":     "compute spans from sim.Time instants instead",
+	"Sleep":     "schedule a kernel event instead of blocking the simulation goroutine",
+	"After":     "schedule a kernel event instead",
+	"Tick":      "use sim.Timer instead",
+	"NewTicker": "use sim.Timer instead",
+	"NewTimer":  "use sim.Timer instead",
+	"AfterFunc": "use sim.Kernel.Schedule instead",
+}
+
+// allowedRand are the only package-level math/rand functions that do
+// not touch the process-global source: constructors for seeded streams.
+var allowedRand = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+var bannedOS = map[string]bool{"Getenv": true, "LookupEnv": true, "Environ": true}
+
+func run(pass *analysis.Pass) error {
+	if !InCone(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are seeded-stream calls
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if hint, banned := bannedTime[fn.Name()]; banned {
+					pass.Reportf(sel.Pos(), "time.%s is wall-clock nondeterminism inside the simulation cone; %s", fn.Name(), hint)
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[fn.Name()] {
+					pass.Reportf(sel.Pos(), "global %s.%s breaks (Config, Seed) determinism; draw from a seeded *rand.Rand (sim.Kernel.Rand, runner.DeriveSeed)", fn.Pkg().Name(), fn.Name())
+				}
+			case "os":
+				if bannedOS[fn.Name()] {
+					pass.Reportf(sel.Pos(), "os.%s makes simulation behaviour depend on the environment; thread configuration through Config instead", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

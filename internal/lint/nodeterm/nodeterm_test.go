@@ -1,0 +1,29 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/nodeterm"
+)
+
+func TestNodeterm(t *testing.T) {
+	analysistest.Run(t, "testdata", nodeterm.Analyzer, "sim", "report")
+}
+
+func TestInCone(t *testing.T) {
+	cases := map[string]bool{
+		"repro/internal/sim":     true,
+		"repro/internal/mac":     true,
+		"repro/internal/metrics": true,
+		"repro/internal/runner":  false, // wall-clock ETA reporting is legitimate there
+		"repro/internal/report":  false,
+		"repro/cmd/bansim":       false,
+		"sim":                    true,
+	}
+	for path, want := range cases {
+		if got := nodeterm.InCone(path); got != want {
+			t.Errorf("InCone(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

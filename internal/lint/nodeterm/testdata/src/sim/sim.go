@@ -1,0 +1,53 @@
+// Fixture: package path contains the "sim" segment, so it lies inside
+// the deterministic simulation cone and every ambient-nondeterminism
+// entry point must be flagged.
+package sim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Jitter draws from the process-global random source: banned.
+func Jitter() float64 {
+	return rand.Float64() // want `global rand\.Float64 breaks \(Config, Seed\) determinism`
+}
+
+// Stamp reads the wall clock: banned.
+func Stamp() time.Time {
+	return time.Now() // want `time\.Now is wall-clock nondeterminism`
+}
+
+// Configured reads the environment: banned.
+func Configured() string {
+	return os.Getenv("BAN_DEBUG") // want `os\.Getenv makes simulation behaviour depend on the environment`
+}
+
+// Wait blocks the simulation goroutine on real time: banned.
+func Wait() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep`
+}
+
+// Shuffled uses the global Perm: banned even though it looks pure.
+func Shuffled(n int) []int {
+	return rand.Perm(n) // want `global rand\.Perm`
+}
+
+// Seeded is the approved pattern: an explicit seeded stream. The
+// constructor calls and the method draws must both stay quiet.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Span manipulates time.Duration values without touching the wall
+// clock: fine.
+func Span(d time.Duration) time.Duration {
+	return d + 2*time.Millisecond
+}
+
+// Waived shows the escape hatch: the waiver must silence the finding.
+func Waived() time.Time {
+	return time.Now() //lint:allow nodeterm boot-time banner only, not simulation state
+}

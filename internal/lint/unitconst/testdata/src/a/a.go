@@ -1,0 +1,65 @@
+// Fixture for the unitconst analyzer: raw literals reaching electrical
+// parameters/fields of the platform-like APIs must be flagged; named
+// constants, computed values, dimensionless factors and zero are fine.
+package a
+
+import "platform"
+
+// The approved form: datasheet values as named constants with units.
+const (
+	radioTxCurrentA     = 17.54e-3
+	radioSupplyVoltageV = 2.8
+)
+
+// Named builds the params from unit-named constants: quiet.
+func Named() platform.RadioParams {
+	return platform.RadioParams{
+		VoltageV: radioSupplyVoltageV,
+		TxA:      radioTxCurrentA,
+	}
+}
+
+// Raw smuggles bare datasheet numbers into electrical fields: flagged.
+func Raw() platform.RadioParams {
+	return platform.RadioParams{
+		VoltageV:  2.8,      // want `raw literal 2\.8 for electrical field RadioParams\.VoltageV`
+		TxA:       17.54e-3, // want `raw literal 17\.54e-3 for electrical field RadioParams\.TxA`
+		BitrateHz: 1e6,      // frequency, not an electrical quantity: quiet
+	}
+}
+
+// RawArray hides literals inside an array field value: flagged per
+// element.
+func RawArray() platform.RadioParams {
+	return platform.RadioParams{
+		DeepA: [2]float64{
+			75e-6, // want `raw literal 75e-6 for electrical field RadioParams\.DeepA`
+			22e-6, // want `raw literal 22e-6 for electrical field RadioParams\.DeepA`
+		},
+	}
+}
+
+// RawArg passes a bare literal to an electrical parameter: flagged.
+func RawArg() platform.Draw {
+	return platform.NewDraw(24.82e-3, radioSupplyVoltageV) // want `raw literal 24\.82e-3 for electrical parameter "currentA"`
+}
+
+// NegativeArg is sign-prefixed but still raw: flagged.
+func NegativeArg() platform.Draw {
+	return platform.NewDraw(-1e-3, radioSupplyVoltageV) // want `raw literal 1e-3 for electrical parameter "currentA"`
+}
+
+// Dimensionless literal to a non-electrical parameter: quiet.
+func Scaled() float64 {
+	return platform.Scale(radioTxCurrentA, 0.5)
+}
+
+// Zero is unit-less: quiet.
+func Off() platform.Draw {
+	return platform.NewDraw(0, 0)
+}
+
+// Waived shows the escape hatch.
+func Waived() platform.Draw {
+	return platform.NewDraw(3.3e-3, radioSupplyVoltageV) //lint:allow unitconst one-off probe current in a throwaway ablation
+}

@@ -1,0 +1,28 @@
+// Fixture stand-in for the hardware-parameter package: electrical
+// fields and parameters follow the repo's unit-suffix naming.
+package platform
+
+// RadioParams carries electrical operating points.
+type RadioParams struct {
+	VoltageV  float64
+	TxA       float64
+	RxA       float64
+	BitrateHz float64
+	DeepA     [2]float64
+}
+
+// Draw is an operating point.
+type Draw struct {
+	CurrentA float64
+	VoltageV float64
+}
+
+// NewDraw builds an operating point from explicit electrical values.
+func NewDraw(currentA, voltageV float64) Draw {
+	return Draw{CurrentA: currentA, VoltageV: voltageV}
+}
+
+// Scale resizes a current; the factor is dimensionless.
+func Scale(currentA, factor float64) float64 {
+	return currentA * factor
+}

@@ -1,0 +1,196 @@
+// Package unitconst enforces the unit-naming convention for electrical
+// parameters: a raw numeric literal passed where the platform, energy
+// or battery APIs expect a current, voltage, power, charge or energy
+// value hides both the unit and the datasheet provenance of the number.
+// Such values must arrive as named constants whose names carry the unit
+// (radioTxCurrentA, asicSupplyVoltageV, ...), matching the datasheet
+// table in DESIGN.md. The zero literal is exempt — zero is zero in
+// every unit.
+//
+// The analyzer recognises electrical parameters and struct fields by
+// the repo's own naming convention: a name containing a unit word
+// (current, voltage, energy, power, charge, joule, watt, amp, mAh) or
+// ending in a single-letter unit suffix (A, V, W, J).
+package unitconst
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "unitconst",
+	Doc: "raw numeric literals passed to electrical parameters (current/voltage/power/energy) of the " +
+		"platform, energy and battery APIs must be named constants carrying their unit",
+	Run: run,
+}
+
+// targetPackages are the API surfaces whose electrical parameters are
+// constrained, identified by the last import-path segment.
+var targetPackages = map[string]bool{"platform": true, "energy": true, "battery": true}
+
+// "amp" is deliberately absent: it matches inside "Sample"; the
+// suffix rule plus "current" covers amp-named quantities anyway.
+var unitWord = regexp.MustCompile(`(?i)(current|voltage|energy|power|charge|joule|watt|mah)`)
+
+// electrical reports whether a parameter or field name denotes an
+// electrical quantity under the repo's naming convention.
+func electrical(name string) bool {
+	if unitWord.MatchString(name) {
+		return true
+	}
+	if len(name) >= 2 {
+		last := name[len(name)-1]
+		prev := rune(name[len(name)-2])
+		if (last == 'A' || last == 'V' || last == 'W' || last == 'J') &&
+			(prev >= 'a' && prev <= 'z') {
+			return true
+		}
+	}
+	return false
+}
+
+func inTarget(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[i+1:]
+	}
+	return targetPackages[path]
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.CompositeLit:
+				checkComposite(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags raw literals bound to electrical parameters of
+// functions and methods exported by the target packages.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	var fn *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, _ = pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+	case *ast.Ident:
+		fn, _ = pass.TypesInfo.Uses[fun].(*types.Func)
+	}
+	if fn == nil || !inTarget(fn.Pkg()) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		lit, ok := rawNumericLiteral(arg)
+		if !ok {
+			continue
+		}
+		pi := i
+		if sig.Variadic() && pi >= params.Len()-1 {
+			pi = params.Len() - 1
+		}
+		if pi >= params.Len() {
+			continue
+		}
+		name := params.At(pi).Name()
+		if !electrical(name) {
+			continue
+		}
+		pass.Reportf(lit.Pos(), "raw literal %s for electrical parameter %q of %s.%s; use a named constant carrying its unit", lit.Value, name, fn.Pkg().Name(), fn.Name())
+	}
+}
+
+// checkComposite flags raw literals assigned to electrical fields of
+// structs defined in the target packages.
+func checkComposite(pass *analysis.Pass, cl *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[cl]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := deref(tv.Type).(*types.Named)
+	if !ok || !inTarget(named.Obj().Pkg()) {
+		return
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return
+	}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !electrical(key.Name) {
+			continue
+		}
+		flagValue(pass, key.Name, named.Obj(), kv.Value)
+	}
+}
+
+// flagValue reports raw literals in v, descending into array/slice
+// literals so [4]float64{...} element values are covered too.
+func flagValue(pass *analysis.Pass, field string, owner *types.TypeName, v ast.Expr) {
+	if lit, ok := rawNumericLiteral(v); ok {
+		pass.Reportf(lit.Pos(), "raw literal %s for electrical field %s.%s; use a named constant carrying its unit", lit.Value, owner.Name(), field)
+		return
+	}
+	if inner, ok := v.(*ast.CompositeLit); ok {
+		for _, elt := range inner.Elts {
+			flagValue(pass, field, owner, elt)
+		}
+	}
+}
+
+// rawNumericLiteral unwraps a possibly sign-prefixed numeric literal,
+// excluding the unit-less zero.
+func rawNumericLiteral(e ast.Expr) (*ast.BasicLit, bool) {
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		e = u.X
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || (lit.Kind != token.INT && lit.Kind != token.FLOAT) {
+		return nil, false
+	}
+	if isZero(lit.Value) {
+		return nil, false
+	}
+	return lit, true
+}
+
+// isZero matches 0, 0.0, 0e0 and friends.
+func isZero(s string) bool {
+	for _, r := range s {
+		switch r {
+		case '0', '.', 'e', 'E', '+', '-', '_', 'x', 'X':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func deref(t types.Type) types.Type {
+	if ptr, ok := t.(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}

@@ -1,0 +1,12 @@
+package unitconst_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/unitconst"
+)
+
+func TestUnitconst(t *testing.T) {
+	analysistest.Run(t, "testdata", unitconst.Analyzer, "a")
+}

@@ -3,6 +3,7 @@ package mac
 import (
 	"fmt"
 
+	"repro/internal/approx"
 	"repro/internal/energy"
 	"repro/internal/packet"
 	"repro/internal/platform"
@@ -272,7 +273,7 @@ func (m *NodeMac) guard() sim.Time {
 // local converts an interval the node times with its own oscillator into
 // the true elapsed simulation time, applying the clock drift.
 func (m *NodeMac) local(d sim.Time) sim.Time {
-	if m.cfg.ClockDriftPPM == 0 {
+	if approx.Unset(m.cfg.ClockDriftPPM) {
 		return d
 	}
 	return sim.Time(float64(d) * (1 + m.cfg.ClockDriftPPM*1e-6))

@@ -53,6 +53,34 @@ func (m MCUParams) CyclesToTime(cycles int64) sim.Time {
 	return sim.Time(float64(cycles) / m.ClockHz * float64(sim.Second))
 }
 
+// Datasheet/measured operating points (§3.1, §4.1 of the paper), named
+// with their unit as banlint's unitconst analyzer requires: every
+// electrical quantity that reaches a platform API carries its
+// provenance and unit in its name instead of appearing as a bare
+// number at the use site.
+const (
+	// MSP430F149 on the 2.8 V rail.
+	mcuSupplyVoltageV    = 2.8
+	mcuActiveCurrentA    = 2e-3
+	mcuPowerSaveCurrentA = 0.66e-3
+	// The remaining low-power modes (LPM1..LPM4 equivalents).
+	mcuLPM1CurrentA = 75e-6
+	mcuLPM2CurrentA = 22e-6
+	mcuLPM3CurrentA = 17e-6
+	mcuLPM4CurrentA = 0.1e-6
+
+	// nRF2401 measured at 2.8 V; standby sits below the paper's
+	// 100 µA measurement floor.
+	radioSupplyVoltageV  = 2.8
+	radioTxCurrentA      = 17.54e-3
+	radioRxCurrentA      = 24.82e-3
+	radioStandbyCurrentA = 12e-6
+
+	// IMEC 25-channel biopotential ASIC: constant draw at 3.0 V.
+	asicSupplyVoltageV = 3.0
+	asicPowerW         = 10.5e-3
+)
+
 // mcuLeakageA is the frequency-independent part of the active current;
 // the rest scales linearly with the clock (CMOS dynamic power). The
 // split is anchored so that the paper's measured 2 mA at the 8 MHz
@@ -275,10 +303,10 @@ type Profile struct {
 //     sample (Table 3's frequency-independent floor).
 func IMEC() Profile {
 	mcu := MCUParams{
-		VoltageV:      2.8,
-		ActiveA:       2e-3,
-		PowerSaveA:    0.66e-3,
-		DeepModesA:    [4]float64{75e-6, 22e-6, 17e-6, 0.1e-6},
+		VoltageV:      mcuSupplyVoltageV,
+		ActiveA:       mcuActiveCurrentA,
+		PowerSaveA:    mcuPowerSaveCurrentA,
+		DeepModesA:    [4]float64{mcuLPM1CurrentA, mcuLPM2CurrentA, mcuLPM3CurrentA, mcuLPM4CurrentA},
 		ClockHz:       8e6,
 		WakeupLatency: 6 * sim.Microsecond,
 	}
@@ -286,10 +314,10 @@ func IMEC() Profile {
 		Name: "imec-ban-node",
 		MCU:  mcu,
 		Radio: RadioParams{
-			VoltageV:         2.8,
-			TxA:              17.54e-3,
-			RxA:              24.82e-3,
-			StandbyA:         12e-6,
+			VoltageV:         radioSupplyVoltageV,
+			TxA:              radioTxCurrentA,
+			RxA:              radioRxCurrentA,
+			StandbyA:         radioStandbyCurrentA,
 			BitrateHz:        1e6,
 			PreambleBytes:    1,
 			AddressBytes:     3,
@@ -302,8 +330,8 @@ func IMEC() Profile {
 			PerByteISRCycles: 24,
 		},
 		ASIC: ASICParams{
-			PowerW:   10.5e-3,
-			VoltageV: 3.0,
+			PowerW:   asicPowerW,
+			VoltageV: asicSupplyVoltageV,
 			Channels: 25,
 			ADCBits:  12,
 		},

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"repro/internal/approx"
 )
 
 // Comparison is one sweep point's reproduction outcome next to the
@@ -40,7 +42,7 @@ func (c Comparison) MCUErrVsReal() float64 { return pctErr(c.OursMCUMJ, c.MCURea
 func (c Comparison) MCUErrVsSim() float64 { return pctErr(c.OursMCUMJ, c.MCUSimMJ) }
 
 func pctErr(got, want float64) float64 {
-	if want == 0 {
+	if approx.Unset(want) {
 		return math.Inf(1)
 	}
 	return (got - want) / want * 100

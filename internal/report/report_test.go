@@ -21,17 +21,17 @@ func sampleTable() TableReport {
 	}
 }
 
-func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
 func TestComparisonErrors(t *testing.T) {
 	c := sampleTable().Rows[0]
-	if !approx(c.RadioErrVsReal(), (548.3-540.6)/540.6*100, 1e-9) {
+	if !approxEq(c.RadioErrVsReal(), (548.3-540.6)/540.6*100, 1e-9) {
 		t.Fatalf("RadioErrVsReal = %v", c.RadioErrVsReal())
 	}
-	if !approx(c.RadioErrVsSim(), (548.3-502.9)/502.9*100, 1e-9) {
+	if !approxEq(c.RadioErrVsSim(), (548.3-502.9)/502.9*100, 1e-9) {
 		t.Fatalf("RadioErrVsSim = %v", c.RadioErrVsSim())
 	}
-	if !approx(c.MCUErrVsReal(), (162.2-170.2)/170.2*100, 1e-9) {
+	if !approxEq(c.MCUErrVsReal(), (162.2-170.2)/170.2*100, 1e-9) {
 		t.Fatalf("MCUErrVsReal = %v", c.MCUErrVsReal())
 	}
 	zero := Comparison{}
@@ -43,7 +43,7 @@ func TestComparisonErrors(t *testing.T) {
 func TestAverages(t *testing.T) {
 	tab := sampleTable()
 	wantRadio := (math.Abs(tab.Rows[0].RadioErrVsReal()) + math.Abs(tab.Rows[1].RadioErrVsReal())) / 2
-	if !approx(tab.AvgAbsRadioErrVsReal(), wantRadio, 1e-9) {
+	if !approxEq(tab.AvgAbsRadioErrVsReal(), wantRadio, 1e-9) {
 		t.Fatalf("AvgAbsRadioErrVsReal = %v, want %v", tab.AvgAbsRadioErrVsReal(), wantRadio)
 	}
 	if empty := (TableReport{}); empty.AvgAbsMCUErrVsReal() != 0 {
