@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/battery"
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/fault"
@@ -105,6 +106,48 @@ func faultFlags(faults *[]fault.Fault) {
 		})
 }
 
+// parseBattery resolves "cr2032" / "lipo160@0.001" into a cell, with the
+// optional @scale multiplying the rated capacity.
+func parseBattery(spec string) (*battery.Battery, error) {
+	name, scalePart, hasScale := strings.Cut(spec, "@")
+	var b battery.Battery
+	switch name {
+	case "cr2032":
+		b = battery.CR2032()
+	case "lipo160":
+		b = battery.LiPo160()
+	default:
+		return nil, fmt.Errorf("unknown battery %q (want cr2032 or lipo160)", name)
+	}
+	if hasScale {
+		scale, err := strconv.ParseFloat(scalePart, 64)
+		if err != nil || scale <= 0 {
+			return nil, fmt.Errorf("bad battery scale %q", scalePart)
+		}
+		b.CapacityMAh *= scale
+	}
+	return &b, nil
+}
+
+// applyBatteryFlags overlays the battery flags onto a config (they
+// compose with a scenario file the same way the fault flags do).
+func applyBatteryFlags(cfg *core.Config, spec string, brownoutV float64, degrade bool) {
+	if spec != "" {
+		b, err := parseBattery(spec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Battery = b
+	}
+	if brownoutV > 0 {
+		cfg.BrownoutV = brownoutV
+	}
+	if degrade {
+		p := battery.DefaultDegradePolicy()
+		cfg.Degrade = &p
+	}
+}
+
 func main() {
 	var (
 		appName  = flag.String("app", "streaming", "application: streaming | rpeak | hrv | eeg")
@@ -120,6 +163,9 @@ func main() {
 		format   = flag.String("format", "text", "output format: text | json")
 		confPath = flag.String("config", "", "JSON scenario file (overrides the other flags)")
 		reclaim  = flag.Int("reclaim", 0, "free a silent node's slot after this many beacon cycles (0 = never)")
+		batSpec  = flag.String("battery", "", "give every node a live cell: cr2032 | lipo160, with an optional capacity scale like cr2032@0.001")
+		brownout = flag.Float64("brownout", 0, "brownout voltage (0 = the cell's default cutoff); needs -battery")
+		degrade  = flag.Bool("degrade", false, "enable the default graceful-degradation policy; needs -battery")
 		withMet  = flag.Bool("metrics", false, "collect and print the observability snapshot (state residency, counters, latency histograms)")
 		metOut   = flag.String("metrics-out", "", "write the metrics snapshot to this file (.csv = flat table, else JSON); implies -metrics")
 		traceOut = flag.String("trace-out", "", "write the event timeline as Chrome trace_event JSON (open in chrome://tracing or ui.perfetto.dev)")
@@ -143,6 +189,7 @@ func main() {
 		if *reclaim > 0 {
 			cfg.SlotReclaimCycles = *reclaim
 		}
+		applyBatteryFlags(&cfg, *batSpec, *brownout, *degrade)
 		cfg.Metrics = cfg.Metrics || *withMet || *metOut != ""
 		res, err := core.Run(cfg)
 		if err != nil {
@@ -190,6 +237,7 @@ func main() {
 		SlotReclaimCycles: *reclaim,
 		Metrics:           *withMet || *metOut != "",
 	}
+	applyBatteryFlags(&cfg, *batSpec, *brownout, *degrade)
 	res, err := core.Run(cfg)
 	if err != nil {
 		fatalf("%v", err)
@@ -301,6 +349,14 @@ func printText(res core.Results) {
 		fmt.Println()
 		fmt.Print(s)
 	}
+	cells := make([]report.NodeBattery, 0, len(res.Nodes))
+	for _, n := range res.Nodes {
+		cells = append(cells, report.NodeBattery{Name: n.Name, Report: n.Battery})
+	}
+	if s := report.RenderLifetime(cells, res.TimeToFirstDeath, res.NetworkLifetime); s != "" {
+		fmt.Println()
+		fmt.Print(s)
+	}
 	if s := report.RenderMetrics(res.Metrics); s != "" {
 		fmt.Println()
 		fmt.Print(s)
@@ -334,6 +390,10 @@ type jsonResult struct {
 	JoinedAll  bool              `json:"joinedAll"`
 	Faults     []fault.Outcome   `json:"faults,omitempty"`
 	Metrics    *metrics.Snapshot `json:"metrics,omitempty"`
+	// Lifetime figures are populated only when the scenario runs on a
+	// battery.
+	TimeToFirstDeath sim.Time `json:"timeToFirstDeath,omitempty"`
+	NetworkLifetime  sim.Time `json:"networkLifetime,omitempty"`
 }
 
 type jsonNode struct {
@@ -347,11 +407,13 @@ type jsonNode struct {
 	Beats        uint64             `json:"beats,omitempty"`
 	Availability float64            `json:"availability"`
 	Delivery     float64            `json:"deliveryRatio"`
+	Battery      *battery.Report    `json:"battery,omitempty"`
 }
 
 func printJSON(res core.Results) {
 	out := jsonResult{JoinedAll: res.JoinedAll, Collisions: res.Channel.Collisions,
-		Faults: res.Faults, Metrics: res.Metrics}
+		Faults: res.Faults, Metrics: res.Metrics,
+		TimeToFirstDeath: res.TimeToFirstDeath, NetworkLifetime: res.NetworkLifetime}
 	out.BS.Beacons = res.BSStats.BeaconsSent
 	out.BS.Data = res.BSStats.DataReceived
 	out.BS.Reclaimed = res.BSStats.SlotsReclaimed
@@ -367,6 +429,7 @@ func printJSON(res core.Results) {
 			Beats:        n.Beats,
 			Availability: n.Availability,
 			Delivery:     n.DeliveryRatio,
+			Battery:      n.Battery,
 		}
 		for cat, j := range n.Energy.Losses {
 			jn.Losses[string(cat)] = j * 1e3

@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/battery"
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/fault"
@@ -36,7 +37,7 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "cycle", "sweep dimension: cycle | nodes | fs | ber | drift | clock | crashrate")
+		mode     = flag.String("mode", "cycle", "sweep dimension: cycle | nodes | fs | ber | drift | clock | crashrate | lifetime")
 		appName  = flag.String("app", "streaming", "application: streaming | rpeak | hrv")
 		macName  = flag.String("mac", "static", "MAC variant: static | dynamic")
 		nodes    = flag.Int("nodes", 5, "node count (fixed dimensions)")
@@ -162,6 +163,27 @@ func main() {
 			}
 			add(fmt.Sprintf("crashes=%d", crashes), cfg)
 		}
+	case "lifetime":
+		// Battery-lifetime sweep: shrunken coin cells (a full-size CR2032
+		// outlives any simulable window by orders of magnitude) across a
+		// capacity grid, each point run with and without the graceful-
+		// degradation policy, so the CSV shows directly how much lifetime
+		// the policy buys at each energy budget.
+		cell := battery.CR2032()
+		for _, scale := range []float64{1.0e-4, 1.5e-4, 2.0e-4, 3.0e-4} {
+			for _, deg := range []bool{false, true} {
+				cfg := base
+				b := cell
+				b.CapacityMAh *= scale
+				cfg.Battery = &b
+				if deg {
+					p := battery.DefaultDegradePolicy()
+					cfg.Degrade = &p
+				}
+				cfg.SlotReclaimCycles = 15
+				add(fmt.Sprintf("scale=%g,degrade=%v", scale, deg), cfg)
+			}
+		}
 	default:
 		fatalf("unknown mode %q", *mode)
 	}
@@ -198,6 +220,10 @@ func main() {
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
+	if *mode == "lifetime" {
+		writeLifetimeCSV(w, results)
+		return
+	}
 	header := []string{"point", "radio_mJ", "mcu_mJ", "total_mJ", "avg_power_mW",
 		"pkts_sent", "pkts_acked", "ack_missed", "retries",
 		"avg_latency_ms", "max_latency_ms",
@@ -226,6 +252,47 @@ func main() {
 			f3(meanAvailability(r.Res.Nodes)),
 			f3(meanDelivery(r.Res.Nodes)),
 			strconv.FormatUint(r.Res.BSStats.SlotsReclaimed, 10),
+		}
+		if err := w.Write(row); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+// writeLifetimeCSV emits the battery-sweep table: network-lifetime
+// figures, death counts and the residual state of charge.
+func writeLifetimeCSV(w *csv.Writer, results []runner.Result) {
+	header := []string{"point", "ttfd_s", "net_lifetime_s", "nodes_dead", "min_soc",
+		"avg_power_mW", "slots_skipped", "slots_released"}
+	if err := w.Write(header); err != nil {
+		fatalf("%v", err)
+	}
+	for _, r := range results {
+		var dead int
+		minSOC := 1.0
+		var skipped uint64
+		for _, n := range r.Res.Nodes {
+			if n.Battery == nil {
+				continue
+			}
+			if n.Battery.Died {
+				dead++
+			}
+			if n.Battery.SOC < minSOC {
+				minSOC = n.Battery.SOC
+			}
+			skipped += n.Mac.SlotsSkipped
+		}
+		n := r.Res.Node()
+		row := []string{
+			r.Label,
+			f1(r.Res.TimeToFirstDeath.Seconds()),
+			f1(r.Res.NetworkLifetime.Seconds()),
+			strconv.Itoa(dead),
+			f3(minSOC),
+			f3((n.RadioMJ() + n.MCUMJ()) / r.Config.Duration.Seconds()),
+			strconv.FormatUint(skipped, 10),
+			strconv.FormatUint(r.Res.BSStats.SlotsReleased, 10),
 		}
 		if err := w.Write(row); err != nil {
 			fatalf("%v", err)

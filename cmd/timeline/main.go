@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"repro/internal/app"
+	"repro/internal/battery"
 	"repro/internal/channel"
 	"repro/internal/ecg"
 	"repro/internal/mac"
@@ -20,12 +21,21 @@ import (
 	"repro/internal/trace"
 )
 
+// The -degrade trace cell, sized so a CR2032-voltage battery holding a
+// few millijoules drains through the whole degradation cascade within
+// the two-second trace window.
+const (
+	traceCellCapacityMAh = 4e-3
+	traceCellVoltageV    = 3.0
+)
+
 func main() {
 	var (
 		macName  = flag.String("mac", "static", "MAC variant: static | dynamic")
 		horizon  = flag.Duration("duration", 0, "simulated time to trace (default 400ms)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		crash    = flag.Bool("crash", false, "crash node 1 mid-trace and reboot it, to show the recovery sequence")
+		degrade  = flag.Bool("degrade", false, "run the nodes on nearly-empty cells, to show the graceful-degradation cascade down to brownout")
 		traceOut = flag.String("trace-out", "", "also write the timeline as Chrome trace_event JSON (open in chrome://tracing)")
 	)
 	flag.Parse()
@@ -46,6 +56,9 @@ func main() {
 		if *crash {
 			until = 800 * sim.Millisecond // room for the crash + rejoin
 		}
+		if *degrade {
+			until = 2 * sim.Second // room for the full cascade to brownout
+		}
 	}
 
 	k := sim.NewKernel(*seed)
@@ -64,7 +77,15 @@ func main() {
 
 	var first *node.Sensor
 	for i := 0; i < 2; i++ {
-		s := node.NewSensor(k, ch, tracer, uint8(i+1), platform.IMEC(), variant)
+		var opts []node.Option
+		if *degrade {
+			// A nearly-empty cell: the cascade — stretch, downshift,
+			// beacon-only parking, brownout — plays out inside the trace.
+			cell := battery.Battery{CapacityMAh: traceCellCapacityMAh, VoltageV: traceCellVoltageV}
+			policy := battery.DefaultDegradePolicy()
+			opts = append(opts, node.WithBattery(cell, 0, &policy))
+		}
+		s := node.NewSensor(k, ch, tracer, uint8(i+1), platform.IMEC(), variant, opts...)
 		s.AttachApp(func(env app.Env) app.App {
 			return app.NewStreaming(env, app.StreamingConfig{
 				SampleRateHz: 100, Channels: 2, Signal: sig,

@@ -24,6 +24,15 @@ type App interface {
 	Stop()
 }
 
+// Downshifter is implemented by applications that can reduce their
+// sampling rate under energy pressure — the sample-rate rung of the
+// battery graceful-degradation ladder. Downshift divides the sampling
+// rate by factor (> 1); it may be called while running or stopped, and
+// composes across calls (two factor-2 downshifts quarter the rate).
+type Downshifter interface {
+	Downshift(factor float64)
+}
+
 // Env bundles the node facilities an application runs on.
 type Env struct {
 	Sched    *tinyos.Sched

@@ -119,6 +119,26 @@ func (e *EEGPower) Stop() {
 	e.env.Frontend.Stop()
 }
 
+// Downshift implements Downshifter: the window keeps its wall-clock
+// length (perWin shrinks with the rate), so summary packets still flow
+// at the same period but each one integrates fewer samples.
+func (e *EEGPower) Downshift(factor float64) {
+	if factor <= 1 {
+		return
+	}
+	e.cfg.SampleRateHz /= factor
+	e.perWin = int(e.cfg.SampleRateHz * e.cfg.WindowSeconds)
+	if e.perWin < 1 {
+		e.perWin = 1
+	}
+	channels := make([]int, e.cfg.Channels)
+	for i := range channels {
+		channels[i] = i
+	}
+	e.env.Frontend.Configure(eegSource{src: e.cfg.Signal, fs: e.cfg.SampleRateHz}, channels, e.onAcquisition)
+	e.env.Frontend.Retune(e.cfg.SampleRateHz)
+}
+
 // WindowsSummarised reports completed windows.
 func (e *EEGPower) WindowsSummarised() uint64 { return e.windows }
 

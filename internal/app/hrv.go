@@ -91,6 +91,21 @@ func (h *HRV) Stop() {
 	h.env.Frontend.Stop()
 }
 
+// Downshift implements Downshifter. The detector is rebuilt at the new
+// rate and the RR baseline resets: a beat index from the old rate would
+// corrupt the first interval computed at the new one, so the stream
+// restarts from the next beat instead.
+func (h *HRV) Downshift(factor float64) {
+	if factor <= 1 {
+		return
+	}
+	h.cfg.SampleRateHz /= factor
+	h.detector = ecg.NewDetector(h.cfg.SampleRateHz)
+	h.lastBeat = -1
+	h.env.Frontend.Configure(signalSource(h.cfg.Signal, h.cfg.SampleRateHz), []int{0}, h.onAcquisition)
+	h.env.Frontend.Retune(h.cfg.SampleRateHz)
+}
+
 // BeatsDetected reports detected beats.
 func (h *HRV) BeatsDetected() uint64 { return h.beats }
 

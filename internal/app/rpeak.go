@@ -86,6 +86,25 @@ func (r *Rpeak) Stop() {
 	r.env.Frontend.Stop()
 }
 
+// Downshift implements Downshifter: the detectors are rebuilt at the
+// divided rate (their thresholds and refractory windows are calibrated
+// in samples, so they must match the new sampling period).
+func (r *Rpeak) Downshift(factor float64) {
+	if factor <= 1 {
+		return
+	}
+	r.cfg.SampleRateHz /= factor
+	for ch := range r.detectors {
+		r.detectors[ch] = ecg.NewDetector(r.cfg.SampleRateHz)
+	}
+	channels := make([]int, r.cfg.Channels)
+	for i := range channels {
+		channels[i] = i
+	}
+	r.env.Frontend.Configure(signalSource(r.cfg.Signal, r.cfg.SampleRateHz), channels, r.onAcquisition)
+	r.env.Frontend.Retune(r.cfg.SampleRateHz)
+}
+
 // BeatsDetected reports beats found across all channels.
 func (r *Rpeak) BeatsDetected() uint64 { return r.beats }
 

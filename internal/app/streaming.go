@@ -85,6 +85,23 @@ func (s *Streaming) Stop() {
 	s.env.Frontend.Stop()
 }
 
+// Downshift implements Downshifter: the sampling rate divides by
+// factor, halving (at the default factor 2) the radio and MCU load per
+// unit time. The packet format is unchanged — payloads just fill more
+// slowly.
+func (s *Streaming) Downshift(factor float64) {
+	if factor <= 1 {
+		return
+	}
+	s.cfg.SampleRateHz /= factor
+	channels := make([]int, s.cfg.Channels)
+	for i := range channels {
+		channels[i] = i
+	}
+	s.env.Frontend.Configure(signalSource(s.cfg.Signal, s.cfg.SampleRateHz), channels, s.onAcquisition)
+	s.env.Frontend.Retune(s.cfg.SampleRateHz)
+}
+
 // PacketsSent reports how many payloads were handed to the MAC.
 func (s *Streaming) PacketsSent() uint64 { return s.sent }
 

@@ -99,6 +99,21 @@ func (f *Frontend) Start(fs float64) {
 	f.timer.StartPeriodic(period)
 }
 
+// Retune changes the sampling rate of a running front-end in place —
+// the battery degradation ladder's sample-rate downshift. The next
+// acquisition completes one new period after the call. A stopped
+// front-end is left untouched: the next Start carries its own rate.
+func (f *Frontend) Retune(fs float64) {
+	if fs <= 0 {
+		panic("asic: sampling rate must be positive")
+	}
+	if !f.running {
+		return
+	}
+	f.timer.Stop()
+	f.timer.StartPeriodic(sim.Time(float64(sim.Second)/fs + 0.5))
+}
+
 // Stop powers the front-end down.
 func (f *Frontend) Stop() {
 	if !f.running {

@@ -1,0 +1,249 @@
+package battery
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestLevelNames(t *testing.T) {
+	want := map[Level]string{
+		LevelNormal:     "normal",
+		LevelStretch:    "stretch",
+		LevelDownshift:  "downshift",
+		LevelBeaconOnly: "beacon-only",
+		LevelDead:       "dead",
+	}
+	for lvl, name := range want {
+		if got := lvl.String(); got != name {
+			t.Errorf("Level(%d).String() = %q, want %q", lvl, got, name)
+		}
+	}
+	if got := Level(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown level renders as %q", got)
+	}
+}
+
+func TestDischargeCurveMonotonic(t *testing.T) {
+	b := CR2032()
+	prev := math.Inf(1)
+	for soc := 1.0; soc >= -0.01; soc -= 0.01 {
+		v := b.VoltageAt(soc)
+		if v > prev {
+			t.Fatalf("voltage rose while discharging: %v V at soc %v (prev %v)", v, soc, prev)
+		}
+		if v <= 0 {
+			t.Fatalf("non-positive voltage %v at soc %v", v, soc)
+		}
+		prev = v
+	}
+	// Clamping: out-of-range SOCs pin to the curve ends.
+	if got, want := b.VoltageAt(2), b.VoltageAt(1); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("VoltageAt(2) = %v, want the fresh-cell %v", got, want)
+	}
+	if got, want := b.VoltageAt(-1), b.VoltageAt(0); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("VoltageAt(-1) = %v, want the empty-cell %v", got, want)
+	}
+	// The default cutoff sits strictly inside the crossable range.
+	if cut := b.DefaultCutoffV(); cut <= b.VoltageAt(0) || cut >= b.VoltageAt(1) {
+		t.Fatalf("default cutoff %v outside (%v, %v)", cut, b.VoltageAt(0), b.VoltageAt(1))
+	}
+}
+
+func TestDegradePolicyValidate(t *testing.T) {
+	var p DegradePolicy
+	if err := p.Validate(); err != nil {
+		t.Fatalf("zero policy must normalise to defaults: %v", err)
+	}
+	if p != DefaultDegradePolicy() {
+		t.Fatalf("normalised zero policy = %+v, want the defaults", p)
+	}
+	bad := []DegradePolicy{
+		{StretchSOC: 0.1, DownshiftSOC: 0.2, BeaconOnlySOC: 0.05}, // unordered
+		{StretchSOC: 1.5},                     // watermark past full
+		{BeaconOnlySOC: -0.1},                 // negative watermark
+		{StretchEvery: 1},                     // would skip every slot
+		{DownshiftFactor: 0.5},                // would raise the rate
+		{StretchSOC: 0.2, DownshiftSOC: 0.25}, // downshift above stretch
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestLevelForWatermarks(t *testing.T) {
+	p := DefaultDegradePolicy()
+	cases := []struct {
+		soc  float64
+		want Level
+	}{
+		{1.0, LevelNormal},
+		{0.30, LevelNormal}, // watermark engages strictly below
+		{0.29, LevelStretch},
+		{0.15, LevelStretch},
+		{0.14, LevelDownshift},
+		{0.05, LevelDownshift},
+		{0.04, LevelBeaconOnly},
+	}
+	for _, c := range cases {
+		if got := p.levelFor(c.soc); got != c.want {
+			t.Errorf("levelFor(%v) = %v, want %v", c.soc, got, c.want)
+		}
+	}
+	var nilPolicy *DegradePolicy
+	if got := nilPolicy.levelFor(0.01); got != LevelNormal {
+		t.Errorf("nil policy degraded to %v", got)
+	}
+}
+
+func TestNewStatePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"unusable cell": func() { NewState(Battery{}, 0, nil, 0) },
+		"bad policy":    func() { NewState(CR2032(), 0, &DegradePolicy{StretchEvery: 1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNewStateCopiesPolicy(t *testing.T) {
+	shared := DegradePolicy{} // zero: normalised on copy
+	s := NewState(CR2032(), 0, &shared, 0)
+	if shared != (DegradePolicy{}) {
+		t.Fatalf("caller's policy mutated: %+v", shared)
+	}
+	if *s.Policy() != DefaultDegradePolicy() {
+		t.Fatalf("stored policy %+v not normalised", *s.Policy())
+	}
+}
+
+// testCell is a tiny cell with known usable energy: 1 mAh at 1 V and
+// unit efficiency = 3.6 J.
+func testCell() Battery { return Battery{CapacityMAh: 1, VoltageV: 1, Efficiency: 1} }
+
+func TestDebitCountsCoulombs(t *testing.T) {
+	s := NewState(testCell(), 0, nil, 0)
+	if got := s.SOC(); got < 1 {
+		t.Fatalf("fresh cell SOC = %v", got)
+	}
+	s.Debit(sim.Second, 1.8) // ledger total 1.8 J
+	if got := s.SOC(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("SOC after half the charge = %v, want 0.5", got)
+	}
+	if got := s.RemainingJ(); math.Abs(got-1.8) > 1e-9 {
+		t.Fatalf("RemainingJ = %v, want 1.8", got)
+	}
+	// A second debit charges only the growth since the first.
+	s.Debit(2*sim.Second, 2.0)
+	if got := s.RemainingJ(); math.Abs(got-1.6) > 1e-9 {
+		t.Fatalf("RemainingJ = %v, want 1.6", got)
+	}
+}
+
+func TestNoteLedgerReset(t *testing.T) {
+	s := NewState(testCell(), 0, nil, 0)
+	s.Debit(sim.Second, 1.0)
+	s.NoteLedgerReset()
+	s.Debit(2*sim.Second, 0.5) // a fresh ledger total, not a rewind
+	if got := s.RemainingJ(); math.Abs(got-2.1) > 1e-9 {
+		t.Fatalf("RemainingJ = %v, want 2.1", got)
+	}
+	// A ledger restart without the note treats the whole reading as draw
+	// rather than crediting charge back.
+	s2 := NewState(testCell(), 0, nil, 0)
+	s2.Debit(sim.Second, 1.0)
+	s2.Debit(2*sim.Second, 0.4)
+	if got := s2.RemainingJ(); math.Abs(got-2.2) > 1e-9 {
+		t.Fatalf("RemainingJ after silent restart = %v, want 2.2", got)
+	}
+}
+
+func TestDegradationCascadeAndDeath(t *testing.T) {
+	p := DefaultDegradePolicy()
+	s := NewState(testCell(), 0, &p, 0)
+	// Drain to 20% SOC: one stretch transition.
+	tr := s.Debit(sim.Second, 3.6*0.8)
+	if tr.From != LevelNormal || tr.To != LevelStretch || tr.Died {
+		t.Fatalf("transition = %+v, want normal->stretch", tr)
+	}
+	if tr.TimeInFrom != sim.Second {
+		t.Fatalf("TimeInFrom = %v, want 1s", tr.TimeInFrom)
+	}
+	// Straight past downshift to beacon-only: one call may cross several
+	// watermarks; the caller walks From+1..To.
+	tr = s.Debit(2*sim.Second, 3.6*0.96)
+	if tr.From != LevelStretch || tr.To != LevelBeaconOnly {
+		t.Fatalf("transition = %+v, want stretch->beacon-only", tr)
+	}
+	// Exhaust the cell: brownout.
+	tr = s.Debit(3*sim.Second, 3.7)
+	if !tr.Died || tr.To != LevelDead || !s.Dead() {
+		t.Fatalf("transition = %+v, dead=%v; want a brownout", tr, s.Dead())
+	}
+	if s.DiedAt() != 3*sim.Second {
+		t.Fatalf("DiedAt = %v, want 3s", s.DiedAt())
+	}
+	// Post-mortem debits are no-ops.
+	tr = s.Debit(4*sim.Second, 5.0)
+	if tr.From != LevelDead || tr.To != LevelDead || tr.Died {
+		t.Fatalf("post-mortem transition = %+v", tr)
+	}
+	rep := s.Snapshot(5 * sim.Second)
+	if !rep.Died || rep.Level != LevelDead || rep.LevelName != "dead" {
+		t.Fatalf("report = %+v, want a dead cell", rep)
+	}
+	if rep.Transitions != 3 {
+		t.Fatalf("transitions = %d, want 3", rep.Transitions)
+	}
+	// Residency: 1s normal, 1s stretch, 1s beacon-only, then dead with
+	// the open interval added by the snapshot.
+	if rep.TimeIn[LevelNormal] != sim.Second || rep.TimeIn[LevelStretch] != sim.Second ||
+		rep.TimeIn[LevelBeaconOnly] != sim.Second || rep.TimeIn[LevelDead] != 2*sim.Second {
+		t.Fatalf("TimeIn = %v", rep.TimeIn)
+	}
+	// Per-level consumption sums to the drawn total (3.6 J: the cell ran dry).
+	var sum float64
+	for _, j := range rep.UsedJ {
+		sum += j
+	}
+	if math.Abs(sum-rep.DrawnJ) > 1e-9 {
+		t.Fatalf("UsedJ sums to %v, DrawnJ = %v", sum, rep.DrawnJ)
+	}
+}
+
+func TestSnapshotDoesNotMutate(t *testing.T) {
+	s := NewState(testCell(), 0, nil, 0)
+	s.Debit(sim.Second, 1.0)
+	a := s.Snapshot(2 * sim.Second)
+	b := s.Snapshot(2 * sim.Second)
+	if a != b {
+		t.Fatalf("snapshots differ: %+v vs %+v", a, b)
+	}
+	if a.TimeIn[LevelNormal] != 2*sim.Second {
+		t.Fatalf("open interval not included: %v", a.TimeIn[LevelNormal])
+	}
+}
+
+func TestVoltageBrownoutBeforeEmpty(t *testing.T) {
+	// A cutoff high on the curve kills the cell with charge left.
+	cell := testCell()
+	cut := cell.VoltageAt(0.5)
+	s := NewState(cell, cut, nil, 0)
+	tr := s.Debit(sim.Second, 3.6*0.6) // 40% SOC, below the 50%-SOC voltage
+	if !tr.Died {
+		t.Fatalf("no brownout at %v V with cutoff %v", s.VoltageV(), cut)
+	}
+	if s.SOC() <= 0 {
+		t.Fatalf("voltage brownout should strand charge, SOC = %v", s.SOC())
+	}
+}

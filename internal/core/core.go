@@ -12,9 +12,11 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/app"
 	"repro/internal/approx"
+	"repro/internal/battery"
 	"repro/internal/body"
 	"repro/internal/channel"
 	"repro/internal/ecg"
@@ -113,6 +115,19 @@ type Config struct {
 	// default, since sparse-sending applications like HRV legitimately
 	// skip many cycles).
 	SlotReclaimCycles int
+	// Battery, when non-nil, gives every node a live cell of this rating:
+	// the per-component energy ledger debits it as the run progresses, and
+	// a node whose terminal voltage sags below BrownoutV crashes for good
+	// (an emergent brownout fault, reported alongside injected ones).
+	Battery *battery.Battery
+	// BrownoutV is the supply-rail voltage below which a node browns out.
+	// 0 selects the cell's default cutoff. Requires Battery.
+	BrownoutV float64
+	// Degrade, when non-nil, enables graceful low-battery degradation at
+	// the policy's state-of-charge watermarks: duty-cycle stretching,
+	// application sample-rate downshift, then beacon-only parking (the
+	// node releases its slot back to the base station). Requires Battery.
+	Degrade *battery.DegradePolicy
 	// Metrics enables the structured observability snapshot: when true,
 	// Results.Metrics carries per-(node, component, state) time/energy
 	// rows, exact event counters and latency histograms, assembled over
@@ -213,6 +228,41 @@ func (c *Config) Validate() error {
 	if c.SlotReclaimCycles < 0 {
 		return fmt.Errorf("core: negative SlotReclaimCycles %d", c.SlotReclaimCycles)
 	}
+	if c.Battery == nil {
+		if !approx.Unset(c.BrownoutV) {
+			return fmt.Errorf("core: BrownoutV %v without a Battery", c.BrownoutV)
+		}
+		if c.Degrade != nil {
+			return fmt.Errorf("core: Degrade policy without a Battery")
+		}
+	} else {
+		b := *c.Battery
+		if b.CapacityMAh <= 0 || b.VoltageV <= 0 {
+			return fmt.Errorf("core: battery needs positive capacity and voltage, got %v mAh at %v V", b.CapacityMAh, b.VoltageV)
+		}
+		if b.Efficiency < 0 || b.Efficiency > 1 {
+			return fmt.Errorf("core: battery efficiency %v out of [0,1]", b.Efficiency)
+		}
+		if approx.Unset(c.BrownoutV) {
+			c.BrownoutV = b.DefaultCutoffV()
+		}
+		// The threshold must be crossable: at or above the fresh-cell
+		// voltage the node dies instantly, at or below the exhausted-cell
+		// voltage it never browns out (the SOC floor catches it instead,
+		// but the configuration is almost certainly a unit mistake).
+		if lo, hi := b.VoltageAt(0), b.VoltageAt(1); c.BrownoutV <= lo || c.BrownoutV >= hi {
+			return fmt.Errorf("core: BrownoutV %.3g V outside the cell's (%.3g, %.3g) V discharge range", c.BrownoutV, lo, hi)
+		}
+		if c.Degrade != nil {
+			// Validate a copy so a policy value shared across configs is
+			// not mutated behind the caller's back.
+			p := *c.Degrade
+			if err := p.Validate(); err != nil {
+				return fmt.Errorf("core: %w", err)
+			}
+			c.Degrade = &p
+		}
+	}
 	// The fault schedule is checked against the full simulated span, so
 	// the defaults above (Warmup in particular) must already be applied.
 	if err := fault.ValidateSchedule(c.Faults, c.Nodes, c.Warmup+c.Duration); err != nil {
@@ -239,6 +289,9 @@ type NodeResult struct {
 	// DeliveryRatio is acknowledged/sent data frames over the window
 	// (1.0 when nothing was sent).
 	DeliveryRatio float64
+	// Battery is the end-of-run battery summary (nil unless the scenario
+	// configures a battery).
+	Battery *battery.Report
 }
 
 // RadioMJ reports the node's radio energy in millijoules — the paper's
@@ -286,6 +339,13 @@ type Results struct {
 	// the whole run — the simulator's own work metric, which the runner's
 	// progress/throughput reporting feeds from.
 	KernelEvents uint64
+	// TimeToFirstDeath is the instant (from simulation start) the first
+	// node browned out; 0 when every node survived the run.
+	TimeToFirstDeath sim.Time
+	// NetworkLifetime is the instant the network fell below half its
+	// nodes alive — the standard WSN lifetime criterion; 0 when at least
+	// half the nodes outlived the run.
+	NetworkLifetime sim.Time
 }
 
 // Node returns the result for the paper's reference node (ID 1).
@@ -330,6 +390,9 @@ func Run(cfg Config) (Results, error) {
 				drift = -drift
 			}
 			opts = append(opts, node.WithClockDrift(drift))
+		}
+		if cfg.Battery != nil {
+			opts = append(opts, node.WithBattery(*cfg.Battery, cfg.BrownoutV, cfg.Degrade))
 		}
 		s := node.NewSensor(k, ch, tracer, uint8(i+1), prof, cfg.Variant, opts...)
 		switch cfg.App {
@@ -402,9 +465,11 @@ func Run(cfg Config) (Results, error) {
 	}
 
 	// The fault schedule is armed before power-on so every injection
-	// event holds a deterministic position in the kernel's order.
+	// event holds a deterministic position in the kernel's order. A
+	// battery also wants the injector: brownouts report through the same
+	// outcome list as injected faults.
 	var inj *fault.Injector
-	if len(cfg.Faults) > 0 {
+	if len(cfg.Faults) > 0 || cfg.Battery != nil {
 		inj = fault.New(k, ch, tracer)
 		for _, s := range sensors {
 			s := s
@@ -414,6 +479,10 @@ func Run(cfg Config) (Results, error) {
 				OnJoined: s.Mac.OnJoined,
 				Stats:    s.Mac.Stats,
 			})
+			if cfg.Battery != nil {
+				id := s.ID
+				s.OnBrownout(func() { inj.NoteBrownout(id) })
+			}
 		}
 		inj.Install(cfg.Faults)
 	}
@@ -476,6 +545,7 @@ func Run(cfg Config) (Results, error) {
 		if nr.Mac.DataSent > 0 {
 			nr.DeliveryRatio = float64(nr.Mac.DataAcked) / float64(nr.Mac.DataSent)
 		}
+		nr.Battery = s.FinalizeBattery(k.Now())
 		switch a := apps[i].(type) {
 		case *app.Streaming:
 			nr.PacketsSent = a.PacketsSent()
@@ -493,6 +563,24 @@ func Run(cfg Config) (Results, error) {
 			nr.PacketsDropped = a.PacketsDropped()
 		}
 		res.Nodes = append(res.Nodes, nr)
+	}
+	// Lifetime figures from the brownout instants. Deaths are collected in
+	// node-ID order and sorted by time, so the result is independent of
+	// everything but the battery histories themselves.
+	var deaths []sim.Time
+	for _, nr := range res.Nodes {
+		if nr.Battery != nil && nr.Battery.Died {
+			deaths = append(deaths, nr.Battery.DiedAt)
+		}
+	}
+	if len(deaths) > 0 {
+		sort.Slice(deaths, func(i, j int) bool { return deaths[i] < deaths[j] })
+		res.TimeToFirstDeath = deaths[0]
+		// The network is alive while at least half its nodes are; the
+		// lifetime ends when the (floor(N/2)+1)-th node dies.
+		if need := cfg.Nodes/2 + 1; len(deaths) >= need {
+			res.NetworkLifetime = deaths[need-1]
+		}
 	}
 	res.KernelEvents = k.Executed()
 	if cfg.Metrics {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/battery"
 	"repro/internal/metrics"
 )
 
@@ -15,19 +16,54 @@ import (
 func assembleMetrics(res *Results) *metrics.Snapshot {
 	energies := make([]metrics.NodeEnergy, 0, len(res.Nodes)+1)
 	energies = append(energies, metrics.NodeEnergy{Node: "bs", Report: res.BSEnergy})
+	var extraStates []metrics.StateRow
 	var extra []metrics.CounterRow
 	for _, nr := range res.Nodes {
 		energies = append(energies, metrics.NodeEnergy{Node: nr.Name, Report: nr.Energy})
+		if rep := nr.Battery; rep != nil {
+			// Per-degradation-level residency and consumption, plus a
+			// residual-charge row, rendered alongside the component state
+			// rows so one snapshot carries the whole energy story.
+			for lvl := 0; lvl < battery.NumLevels; lvl++ {
+				if rep.TimeIn[lvl] == 0 && rep.UsedJ[lvl] <= 0 {
+					continue
+				}
+				extraStates = append(extraStates, metrics.StateRow{
+					Node:      nr.Name,
+					Component: "battery",
+					State:     battery.Level(lvl).String(),
+					Time:      rep.TimeIn[lvl],
+					EnergyMJ:  rep.UsedJ[lvl] * 1e3,
+				})
+			}
+			extraStates = append(extraStates, metrics.StateRow{
+				Node:      nr.Name,
+				Component: "battery",
+				State:     "residual",
+				EnergyMJ:  rep.RemainingJ * 1e3,
+			})
+			var browned uint64
+			if rep.Died {
+				browned = 1
+			}
+			extra = append(extra, statRows(nr.Name, "battery", [][2]any{
+				{"brownouts", browned},
+				{"level-transitions", rep.Transitions},
+			})...)
+		}
 		extra = append(extra, statRows(nr.Name, "mac", [][2]any{
 			{"beacons-heard", nr.Mac.BeaconsHeard},
 			{"beacons-missed", nr.Mac.BeaconsMissed},
 			{"ssr-sent", nr.Mac.SSRSent},
 			{"data-sent", nr.Mac.DataSent},
 			{"data-acked", nr.Mac.DataAcked},
+			{"data-dropped", nr.Mac.DataDropped},
 			{"ack-missed", nr.Mac.AckMissed},
 			{"retries", nr.Mac.Retries},
 			{"queue-drops", nr.Mac.QueueDrops},
 			{"rejoins", nr.Mac.Rejoins},
+			{"slots-skipped", nr.Mac.SlotsSkipped},
+			{"releases-sent", nr.Mac.ReleasesSent},
 		})...)
 		extra = append(extra, statRows(nr.Name, "radio", [][2]any{
 			{"tx-frames", nr.Radio.TxFrames},
@@ -49,6 +85,7 @@ func assembleMetrics(res *Results) *metrics.Snapshot {
 		{"ssr-rejected", res.BSStats.SSRRejected},
 		{"stray-frames", res.BSStats.StrayFrames},
 		{"slots-reclaimed", res.BSStats.SlotsReclaimed},
+		{"slots-released", res.BSStats.SlotsReleased},
 	})...)
 	extra = append(extra, statRows("channel", "channel", [][2]any{
 		{"transmissions", res.Channel.Transmissions},
@@ -60,7 +97,7 @@ func assembleMetrics(res *Results) *metrics.Snapshot {
 		{"truncated", res.Channel.Truncated},
 		{"blackout-drops", res.Channel.BlackoutDrops},
 	})...)
-	return metrics.Assemble(res.Trace, energies, extra, res.KernelEvents)
+	return metrics.Assemble(res.Trace, energies, extraStates, extra, res.KernelEvents)
 }
 
 // statRows turns a component's statistics into namespaced counter rows,

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/battery"
 	"repro/internal/channel"
 	"repro/internal/fault"
 	"repro/internal/mac"
@@ -13,23 +14,65 @@ import (
 // scenarioJSON is the on-disk scenario schema: a flat, readable form of
 // Config with string enums and duration strings.
 type scenarioJSON struct {
-	Mac          string              `json:"mac"`           // "static" | "dynamic"
-	Nodes        int                 `json:"nodes"`         //
-	Cycle        sim.Time            `json:"cycle"`         // "30ms" (static only)
-	App          string              `json:"app"`           // "streaming" | "rpeak" | "hrv" | "eeg"
-	SampleRateHz float64             `json:"sampleRateHz"`  //
-	HeartRateBPM float64             `json:"heartRateBPM"`  //
-	Duration     sim.Time            `json:"duration"`      // "60s"
-	Warmup       sim.Time            `json:"warmup"`        // "3s" (optional)
-	Seed         int64               `json:"seed"`          //
-	BER          float64             `json:"ber"`           //
-	Burst        *channel.BurstModel `json:"burst"`         //
-	DriftPPM     float64             `json:"clockDriftPPM"` //
-	StartStagger sim.Time            `json:"startStagger"`  //
-	Faults       []fault.Fault       `json:"faults,omitempty"`
-	SlotReclaim  int                 `json:"slotReclaimCycles,omitempty"`
-	TraceLimit   int                 `json:"traceLimit,omitempty"` // event ring cap (0 = default)
-	Metrics      bool                `json:"metrics,omitempty"`    // collect the observability snapshot
+	Mac          string                 `json:"mac"`           // "static" | "dynamic"
+	Nodes        int                    `json:"nodes"`         //
+	Cycle        sim.Time               `json:"cycle"`         // "30ms" (static only)
+	App          string                 `json:"app"`           // "streaming" | "rpeak" | "hrv" | "eeg"
+	SampleRateHz float64                `json:"sampleRateHz"`  //
+	HeartRateBPM float64                `json:"heartRateBPM"`  //
+	Duration     sim.Time               `json:"duration"`      // "60s"
+	Warmup       sim.Time               `json:"warmup"`        // "3s" (optional)
+	Seed         int64                  `json:"seed"`          //
+	BER          float64                `json:"ber"`           //
+	Burst        *channel.BurstModel    `json:"burst"`         //
+	DriftPPM     float64                `json:"clockDriftPPM"` //
+	StartStagger sim.Time               `json:"startStagger"`  //
+	Faults       []fault.Fault          `json:"faults,omitempty"`
+	SlotReclaim  int                    `json:"slotReclaimCycles,omitempty"`
+	TraceLimit   int                    `json:"traceLimit,omitempty"`    // event ring cap (0 = default)
+	Metrics      bool                   `json:"metrics,omitempty"`       // collect the observability snapshot
+	Battery      *batteryJSON           `json:"battery,omitempty"`       // live cell per node
+	BrownoutV    float64                `json:"brownoutV,omitempty"`     // supply cutoff (0 = cell default)
+	Degrade      *battery.DegradePolicy `json:"degradePolicy,omitempty"` // low-battery watermarks
+}
+
+// batteryJSON names a cell either by preset ("cr2032" | "lipo160") or by
+// explicit rating; explicit fields override the preset's, and
+// capacityScale multiplies the capacity afterwards (lifetime scenarios
+// shrink a coin cell so deaths land inside a simulable window).
+type batteryJSON struct {
+	Cell          string  `json:"cell,omitempty"`
+	CapacityMAh   float64 `json:"capacityMAh,omitempty"`
+	VoltageV      float64 `json:"voltageV,omitempty"`
+	Efficiency    float64 `json:"efficiency,omitempty"`
+	CapacityScale float64 `json:"capacityScale,omitempty"`
+}
+
+// decodeBattery resolves a batteryJSON into a concrete cell.
+func decodeBattery(bj *batteryJSON) (*battery.Battery, error) {
+	var b battery.Battery
+	switch bj.Cell {
+	case "":
+	case "cr2032":
+		b = battery.CR2032()
+	case "lipo160":
+		b = battery.LiPo160()
+	default:
+		return nil, fmt.Errorf("core: unknown battery cell %q", bj.Cell)
+	}
+	if bj.CapacityMAh > 0 {
+		b.CapacityMAh = bj.CapacityMAh
+	}
+	if bj.VoltageV > 0 {
+		b.VoltageV = bj.VoltageV
+	}
+	if bj.Efficiency > 0 {
+		b.Efficiency = bj.Efficiency
+	}
+	if bj.CapacityScale > 0 {
+		b.CapacityMAh *= bj.CapacityScale
+	}
+	return &b, nil
 }
 
 // ConfigFromJSON parses a scenario description. Validation happens at
@@ -62,6 +105,15 @@ func ConfigFromJSON(data []byte) (Config, error) {
 	if len(cfg.Faults) == 0 {
 		cfg.Faults = nil
 	}
+	if s.Battery != nil {
+		b, err := decodeBattery(s.Battery)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Battery = b
+	}
+	cfg.BrownoutV = s.BrownoutV
+	cfg.Degrade = s.Degrade
 	switch s.Mac {
 	case "static", "":
 		cfg.Variant = mac.Static
@@ -93,6 +145,17 @@ func ConfigToJSON(cfg Config) ([]byte, error) {
 		SlotReclaim:  cfg.SlotReclaimCycles,
 		TraceLimit:   cfg.TraceLimit,
 		Metrics:      cfg.Metrics,
+		BrownoutV:    cfg.BrownoutV,
+		Degrade:      cfg.Degrade,
+	}
+	if b := cfg.Battery; b != nil {
+		// Emit the resolved rating only: presets and scale factors are
+		// decode-time sugar, so decode(encode(decode(x))) is an identity.
+		s.Battery = &batteryJSON{
+			CapacityMAh: b.CapacityMAh,
+			VoltageV:    b.VoltageV,
+			Efficiency:  b.Efficiency,
+		}
 	}
 	return json.MarshalIndent(s, "", "  ")
 }

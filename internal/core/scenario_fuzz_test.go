@@ -47,6 +47,18 @@ func FuzzLoadScenario(f *testing.F) {
 	f.Add([]byte(`{"faults":[{"kind":"crash","node":0,"at":"-1s","reboot_after":"-2s"}]}`))
 	f.Add([]byte(`{"faults":[{"kind":"blackout","from":"bs","to":"bs","at":"9s","until":"1s"}]}`))
 	f.Add([]byte(`{"slotReclaimCycles":-3,"faults":[{"kind":"crash","node":1,"at":"1s"},{"kind":"crash","node":1,"at":"1s"}]}`))
+	// Battery lifecycle: presets with scaling, explicit ratings, brownout
+	// thresholds the curve cannot cross, policy knobs on and off a cell.
+	f.Add([]byte(`{"nodes":2,"duration":"5s","battery":{"cell":"cr2032","capacityScale":1e-3},` +
+		`"brownoutV":2.1,"degradePolicy":{"stretchSOC":0.4,"stretchEvery":3,"downshiftSOC":0.2,"beaconOnlySOC":0.06}}`))
+	f.Add([]byte(`{"battery":{"capacityMAh":160,"voltageV":3.7,"efficiency":0.9}}`))
+	f.Add([]byte(`{"battery":{"cell":"unobtainium"}}`))
+	f.Add([]byte(`{"battery":{"cell":"cr2032"},"brownoutV":9.9}`))
+	f.Add([]byte(`{"battery":{"cell":"cr2032"},"brownoutV":-1}`))
+	f.Add([]byte(`{"brownoutV":2.2}`))
+	f.Add([]byte(`{"degradePolicy":{"stretchSOC":0.1,"downshiftSOC":0.2}}`))
+	f.Add([]byte(`{"battery":{"cell":"lipo160","capacityScale":-1},"degradePolicy":{"stretchEvery":1}}`))
+	f.Add([]byte(`{"faults":[{"kind":"brownout","node":1,"at":"1s"}]}`))
 	// Observability fields: the metrics switch and trace ring cap.
 	f.Add([]byte(`{"nodes":2,"duration":"5s","metrics":true,"traceLimit":100}`))
 	f.Add([]byte(`{"metrics":false,"traceLimit":-1}`))

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/core"
+	"repro/internal/paperdata"
+	"repro/internal/sim"
+)
+
+// goldenLifetime locks one app variant's CR2032 projection: the
+// reference node's measured window energy extrapolated to cell
+// exhaustion, in days.
+type goldenLifetime struct {
+	Label        string  `json:"label"`
+	WindowMJ     float64 `json:"windowMJ"`
+	LifetimeDays float64 `json:"lifetimeDays"`
+}
+
+// TestGoldenLifetimeProjections locks the offline battery projections
+// for the four Table-1 sampling-rate variants: the measured 60 s window
+// energy and the CR2032 lifetime it extrapolates to must both stay
+// within the 0.1% golden gate. Any drift in the radio, MCU or MAC
+// models shows up here as shortened or lengthened projected lifetimes.
+func TestGoldenLifetimeProjections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("60 s windows; skipped in -short mode")
+	}
+	spec, err := specFor("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := battery.CR2032()
+	var got []goldenLifetime
+	for _, row := range spec.data.Rows {
+		cfg := rowConfig(spec, row, Options{})
+		res, err := core.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", row.Label, err)
+		}
+		n := res.Node()
+		windowJ := n.Energy.TotalJ
+		life, err := cell.Lifetime(windowJ, paperdata.Window)
+		if err != nil {
+			t.Fatalf("%s: %v", row.Label, err)
+		}
+		got = append(got, goldenLifetime{
+			Label:        row.Label,
+			WindowMJ:     windowJ * 1e3,
+			LifetimeDays: battery.Days(life),
+		})
+	}
+
+	path := filepath.Join("testdata", "golden", "lifetime_table1.json")
+	if *update {
+		writeGoldenJSON(t, path, got)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden files)", err)
+	}
+	var want []goldenLifetime
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("row count: got %d, golden %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Label != w.Label {
+			t.Errorf("row %d: got %q, golden %q", i, g.Label, w.Label)
+			continue
+		}
+		checkDrift(t, w.Label, "windowMJ", g.WindowMJ, w.WindowMJ)
+		checkDrift(t, w.Label, "lifetimeDays", g.LifetimeDays, w.LifetimeDays)
+	}
+	// Sanity independent of the locked values: lower sampling rates must
+	// project longer lifetimes (the whole point of Table 1's sweep).
+	for i := 1; i < len(got); i++ {
+		if got[i].LifetimeDays <= got[i-1].LifetimeDays {
+			t.Errorf("%s projects %.1f days, not longer than %s's %.1f",
+				got[i].Label, got[i].LifetimeDays, got[i-1].Label, got[i-1].LifetimeDays)
+		}
+	}
+}
+
+// goldenScenarioRun locks a shipped battery scenario's emergent outcome.
+type goldenScenarioRun struct {
+	Scenario         string   `json:"scenario"`
+	TimeToFirstDeath sim.Time `json:"timeToFirstDeathNs"`
+	NetworkLifetime  sim.Time `json:"networkLifetimeNs"`
+	Brownouts        int      `json:"brownouts"`
+	// ResidualMJ is each node's unspent usable energy at run end, in
+	// node order.
+	ResidualMJ []float64 `json:"residualMJ"`
+}
+
+// TestGoldenScenarioLifetimes adds the two shipped battery scenarios to
+// the golden-run regression suite: the brownout instants are locked
+// exactly (they are discrete deterministic events) and the residual
+// charges within the 0.1% energy gate.
+func TestGoldenScenarioLifetimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scenario windows; skipped in -short mode")
+	}
+	for _, name := range []string{"lifetime_cr2032", "degrade_cascade"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			data, err := os.ReadFile(filepath.Join("..", "..", "scenarios", name+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := core.ConfigFromJSON(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := goldenScenarioRun{
+				Scenario:         name,
+				TimeToFirstDeath: res.TimeToFirstDeath,
+				NetworkLifetime:  res.NetworkLifetime,
+			}
+			for _, n := range res.Nodes {
+				if n.Battery == nil {
+					t.Fatalf("%s: no battery report", n.Name)
+				}
+				if n.Battery.Died {
+					got.Brownouts++
+				}
+				got.ResidualMJ = append(got.ResidualMJ, n.Battery.RemainingJ*1e3)
+			}
+
+			path := filepath.Join("testdata", "golden", name+".json")
+			if *update {
+				writeGoldenJSON(t, path, got)
+				return
+			}
+			data, err = os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create the golden files)", err)
+			}
+			var want goldenScenarioRun
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatal(err)
+			}
+			if got.TimeToFirstDeath != want.TimeToFirstDeath ||
+				got.NetworkLifetime != want.NetworkLifetime ||
+				got.Brownouts != want.Brownouts {
+				t.Errorf("lifetime outcome drifted:\n got  ttfd=%v lifetime=%v brownouts=%d\n want ttfd=%v lifetime=%v brownouts=%d",
+					got.TimeToFirstDeath, got.NetworkLifetime, got.Brownouts,
+					want.TimeToFirstDeath, want.NetworkLifetime, want.Brownouts)
+			}
+			if len(got.ResidualMJ) != len(want.ResidualMJ) {
+				t.Fatalf("node count: got %d, golden %d", len(got.ResidualMJ), len(want.ResidualMJ))
+			}
+			for i := range want.ResidualMJ {
+				checkDrift(t, fmt.Sprintf("node%d", i+1), "residualMJ", got.ResidualMJ[i], want.ResidualMJ[i])
+			}
+		})
+	}
+}
+
+// checkDrift applies the suite's relative-drift gate to one value.
+func checkDrift(t *testing.T, label, field string, got, want float64) {
+	t.Helper()
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("%s %s: got %.6f, golden 0", label, field, got)
+		}
+		return
+	}
+	if rel := math.Abs(got-want) / math.Abs(want); rel > goldenTolerance {
+		t.Errorf("%s %s: got %.6f, golden %.6f (drift %.3f%%)", label, field, got, want, rel*100)
+	}
+}
+
+// writeGoldenJSON rewrites one golden file under -update.
+func writeGoldenJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -35,6 +35,12 @@ const (
 	// KindInterference corrupts every frame on the air for a window (an
 	// external emitter saturating the 2.4 GHz band).
 	KindInterference Kind = "interference"
+	// KindBrownout marks an emergent battery-depletion crash: the node's
+	// live battery (internal/battery) drained until the terminal voltage
+	// fell through the brownout threshold. It is never scheduled —
+	// ValidateSchedule rejects it in user fault lists — but appears in
+	// Outcomes alongside the injected faults.
+	KindBrownout Kind = "brownout"
 )
 
 // Fault describes one scheduled fault. The flat shape keeps the JSON
@@ -68,6 +74,8 @@ func (f Fault) String() string {
 		return fmt.Sprintf("blackout %s>%s@%v-%v", f.From, f.To, f.At, f.Until)
 	case KindInterference:
 		return fmt.Sprintf("interference@%v-%v", f.At, f.Until)
+	case KindBrownout:
+		return fmt.Sprintf("brownout node%d@%v", f.Node, f.At)
 	default:
 		return fmt.Sprintf("fault(%q)", string(f.Kind))
 	}
@@ -142,6 +150,8 @@ func ValidateSchedule(faults []Fault, nodes int, total sim.Time) error {
 			if f.Until > total {
 				return fmt.Errorf("fault %d (%v): window end %v past the simulated span %v", i, f, f.Until, total)
 			}
+		case KindBrownout:
+			return fmt.Errorf("fault %d (%v): brownouts are emergent (battery depletion), not schedulable — configure a battery instead", i, f)
 		default:
 			return fmt.Errorf("fault %d: unknown kind %q", i, f.Kind)
 		}
@@ -386,6 +396,16 @@ func (inj *Injector) installInterference(idx int, f Fault) {
 		sent, acked := inj.aggregate()
 		inj.outcomes[idx].SentDuring = satSub(sent, sent0)
 		inj.outcomes[idx].AckedDuring = satSub(acked, acked0)
+	})
+}
+
+// NoteBrownout records an emergent battery-depletion crash as a fault
+// outcome, so brownouts show up in the resilience report alongside the
+// scheduled faults. The cell is empty, so the node never reboots and no
+// in-window delivery is tracked — the outcome carries only the instant.
+func (inj *Injector) NoteBrownout(node uint8) {
+	inj.outcomes = append(inj.outcomes, Outcome{
+		Fault: Fault{Kind: KindBrownout, Node: node, At: inj.k.Now()},
 	})
 }
 

@@ -3,7 +3,10 @@
 // constants, computed values, dimensionless factors and zero are fine.
 package a
 
-import "platform"
+import (
+	"battery"
+	"platform"
+)
 
 // The approved form: datasheet values as named constants with units.
 const (
@@ -62,4 +65,45 @@ func Off() platform.Draw {
 // Waived shows the escape hatch.
 func Waived() platform.Draw {
 	return platform.NewDraw(3.3e-3, radioSupplyVoltageV) //lint:allow unitconst one-off probe current in a throwaway ablation
+}
+
+// Watermark hygiene: state-of-charge fractions and brownout thresholds
+// are model calibration points; raw literals for them are flagged.
+const (
+	lowStretchSOC   = 0.30
+	parkBrownoutV   = 2.0
+	parkedWatermark = 0.05
+)
+
+// NamedPolicy builds the watermarks from named constants: quiet.
+func NamedPolicy() battery.DegradePolicy {
+	return battery.DegradePolicy{
+		StretchSOC:    lowStretchSOC,
+		BeaconOnlySOC: parkedWatermark,
+		StretchEvery:  4, // dimensionless cadence: quiet
+		Sockets:       2, // "Soc" inside a word, not the SOC marker: quiet
+	}
+}
+
+// RawPolicy smuggles bare watermarks into the policy: flagged.
+func RawPolicy() battery.DegradePolicy {
+	return battery.DegradePolicy{
+		StretchSOC:    0.30, // want `raw literal 0\.30 for electrical field DegradePolicy\.StretchSOC`
+		BeaconOnlySOC: 0.05, // want `raw literal 0\.05 for electrical field DegradePolicy\.BeaconOnlySOC`
+	}
+}
+
+// RawBrownout passes a bare threshold voltage: flagged.
+func RawBrownout() float64 {
+	return battery.NewState(2.0, parkedWatermark) // want `raw literal 2\.0 for electrical parameter "brownoutV"`
+}
+
+// RawWatermarkArg passes a bare SOC watermark: flagged.
+func RawWatermarkArg() float64 {
+	return battery.NewState(parkBrownoutV, 0.08) // want `raw literal 0\.08 for electrical parameter "watermarkSOC"`
+}
+
+// NamedBrownout uses the named calibration points: quiet.
+func NamedBrownout() float64 {
+	return battery.NewState(parkBrownoutV, parkedWatermark)
 }

@@ -1,0 +1,18 @@
+// Fixture stand-in for the battery package: degradation watermarks and
+// brownout thresholds are calibration points of the discharge model and
+// follow the same name-the-number rule as the datasheet electricals.
+package battery
+
+// DegradePolicy carries state-of-charge watermarks (dimensionless
+// fractions of a full cell) and dimensionless behaviour knobs.
+type DegradePolicy struct {
+	StretchSOC    float64
+	BeaconOnlySOC float64
+	StretchEvery  int
+	Sockets       int // "SOC" is case-sensitive: "Soc" inside a word stays quiet
+}
+
+// NewState builds a cell monitor from a brownout threshold.
+func NewState(brownoutV float64, watermarkSOC float64) float64 {
+	return brownoutV + watermarkSOC
+}

@@ -9,8 +9,12 @@
 //
 // The analyzer recognises electrical parameters and struct fields by
 // the repo's own naming convention: a name containing a unit word
-// (current, voltage, energy, power, charge, joule, watt, amp, mAh) or
-// ending in a single-letter unit suffix (A, V, W, J).
+// (current, voltage, energy, power, charge, joule, watt, amp, mAh,
+// watermark, brownout) or the state-of-charge marker SOC, or ending in
+// a single-letter unit suffix (A, V, W, J). Watermarks and SOC values
+// are dimensionless fractions, but they are calibration points of the
+// discharge model exactly like the datasheet currents, so the same
+// name-the-number rule applies to them.
 package unitconst
 
 import (
@@ -36,12 +40,17 @@ var targetPackages = map[string]bool{"platform": true, "energy": true, "battery"
 
 // "amp" is deliberately absent: it matches inside "Sample"; the
 // suffix rule plus "current" covers amp-named quantities anyway.
-var unitWord = regexp.MustCompile(`(?i)(current|voltage|energy|power|charge|joule|watt|mah)`)
+var unitWord = regexp.MustCompile(`(?i)(current|voltage|energy|power|charge|joule|watt|mah|watermark|brownout)`)
 
 // electrical reports whether a parameter or field name denotes an
 // electrical quantity under the repo's naming convention.
 func electrical(name string) bool {
 	if unitWord.MatchString(name) {
+		return true
+	}
+	// State-of-charge watermarks (StretchSOC, BeaconOnlySOC, ...). Kept
+	// case-sensitive: a lowercase "soc" would match "associated".
+	if strings.Contains(name, "SOC") {
 		return true
 	}
 	if len(name) >= 2 {

@@ -45,6 +45,9 @@ type BSStats struct {
 	SSRRejected    uint64
 	StrayFrames    uint64
 	SlotsReclaimed uint64
+	// SlotsReleased counts voluntary releases from nodes entering
+	// beacon-only mode (distinct from silence reclaims).
+	SlotsReleased uint64
 }
 
 // RxRecord is one data frame the base station accepted.
@@ -82,6 +85,9 @@ type BS struct {
 	// silent counts consecutive beacon cycles without a data frame from
 	// each joined node, for slot reclamation.
 	silent map[uint8]int
+	// needCompact defers dynamic-slot renumbering after a voluntary
+	// release to the next beacon build (a safe point for the timing map).
+	needCompact bool
 
 	onData   func(rec RxRecord)
 	received []RxRecord
@@ -215,6 +221,10 @@ func (bs *BS) prepareBeacon(fireAt sim.Time) {
 	bs.radio.Standby() // stop listening; the SB slot begins
 	bs.sched.Interrupt("bs-beacon-build", p.Cost.BSBeaconBuild, func() {
 		bs.reclaimSilent()
+		if bs.needCompact {
+			bs.compactSlots()
+			bs.needCompact = false
+		}
 		bs.cycle = bs.currentCycle() // dynamic growth/shrink takes effect here
 		bs.seq++
 		b := packet.Beacon{
@@ -354,10 +364,44 @@ func (bs *BS) onFrame(f packet.Frame) {
 	case bs.cfg.Plan.BSCtrl:
 		if ssr, err := packet.UnmarshalSSR(f.Payload); err == nil {
 			bs.handleSSR(ssr)
+		} else if rel, err := packet.UnmarshalRelease(f.Payload); err == nil {
+			bs.handleRelease(rel)
 		}
 	case bs.cfg.Plan.BSData:
 		bs.handleData(f.Payload)
 	}
+}
+
+// handleRelease frees a voluntarily released slot immediately — the
+// low-battery node is parking in beacon-only mode and will not return —
+// so the dynamic cycle compacts on the next beacon instead of after the
+// silence-reclaim window.
+func (bs *BS) handleRelease(rel packet.Release) {
+	bs.sched.PostFn("bs-slot-release", bs.cfg.Profile.Cost.BSSlotAssign, func() {
+		slot, exists := bs.nodeSlot[rel.NodeID]
+		if !exists {
+			return // duplicate or stale release
+		}
+		delete(bs.nodeSlot, rel.NodeID)
+		delete(bs.slotNode, slot)
+		delete(bs.silent, rel.NodeID)
+		bs.stats.SlotsReleased++
+		bs.tracer.Recordf(bs.k.Now(), "bs", trace.KindSlotRelease,
+			"node=%d slot=%d", rel.NodeID, slot)
+		live := bs.grants[:0]
+		for _, g := range bs.grants {
+			if g.entry.NodeID != rel.NodeID {
+				live = append(live, g)
+			}
+		}
+		bs.grants = live
+		// Compaction is deferred to the next beacon build: renumbering
+		// now would misattribute frames from survivors that still
+		// transmit in their old slot indices for the rest of this cycle.
+		if bs.cfg.Variant == Dynamic {
+			bs.needCompact = true
+		}
+	})
 }
 
 // handleSSR assigns a slot (or repeats an existing assignment for a

@@ -66,8 +66,19 @@ type Stats struct {
 	DataAcked     uint64
 	AckMissed     uint64
 	Retries       uint64
-	QueueDrops    uint64
-	Rejoins       uint64
+	// DataDropped counts frames discarded after MaxRetries retransmission
+	// attempts all went unacknowledged. The MAC conservation law is
+	// DataSent = DataAcked + DataDropped + Retries + (0 or 1 in flight):
+	// every transmitted burst either was acked, was a retry of an earlier
+	// burst, ended the frame's life, or is still awaiting its ack.
+	DataDropped uint64
+	QueueDrops  uint64
+	Rejoins     uint64
+	// SlotsSkipped counts data slots slept through by the duty-cycle
+	// stretch rung of the battery degradation ladder.
+	SlotsSkipped uint64
+	// ReleasesSent counts voluntary slot releases (beacon-only mode).
+	ReleasesSent uint64
 	// LatencySum/LatencyMax/LatencyCount aggregate the queueing delay
 	// from Send() to the start of the transmitting burst — the
 	// performance figure that pairs with the energy numbers: TDMA trades

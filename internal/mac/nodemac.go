@@ -21,6 +21,7 @@ const (
 	stateRequesting                  // beacon-synced, slot request pending
 	stateJoined                      // slot held, steady-state duty cycle
 	stateCrashed                     // powered off by a fault; waiting for reboot
+	stateParked                      // beacon-only: slot released, no data path
 )
 
 // NodeConfig parameterises a node-side MAC instance.
@@ -91,6 +92,12 @@ type NodeMac struct {
 	joinListenAt  sim.Time
 	ssrNonce      uint16
 	ssrScheduled  bool
+
+	// Graceful-degradation controls (battery lifecycle).
+	stretchEvery   int    // skip our data slot every this-many cycles (0 = off)
+	stretchCount   uint64 // joined beacon cycles, driving the stretch cadence
+	beaconOnly     bool   // final low-battery mode requested by the node layer
+	releasePending bool   // the voluntary slot release still has to fly
 
 	stats Stats
 	// Accounting for the paper's loss categories.
@@ -224,7 +231,68 @@ func (m *NodeMac) Crash() {
 	m.loaded = false
 	m.inFlight = nil
 	m.ssrScheduled = false
+	// beaconOnly survives the crash on purpose: it mirrors the node's
+	// battery level, which a power cycle does not replenish — a rebooted
+	// beacon-only node parks again right after its first beacon.
+	m.releasePending = false
 	m.tracer.Record(m.k.Now(), m.name, trace.KindCrash, "")
+}
+
+// SetSlotStretch makes the node sleep through its data slot on every
+// k-th beacon cycle — the duty-cycle-stretching rung of the battery
+// graceful-degradation ladder. k < 2 disables stretching.
+func (m *NodeMac) SetSlotStretch(k int) {
+	if k < 2 {
+		m.stretchEvery = 0
+		return
+	}
+	m.stretchEvery = k
+}
+
+// EnterBeaconOnly drops the node to the final degradation rung: the
+// application is already stopped by the caller; the MAC hands its slot
+// back to the base station (so the dynamic cycle compacts immediately)
+// and then keeps only beacon synchronisation alive. The mode is sticky —
+// it mirrors battery charge, which never comes back.
+func (m *NodeMac) EnterBeaconOnly() {
+	if m.beaconOnly {
+		return
+	}
+	m.beaconOnly = true
+	switch m.state {
+	case stateJoined:
+		m.releasePending = true // announce in our own slot, then park
+	case stateRequesting:
+		m.park()
+	case stateSearching, stateCrashed, stateParked:
+		// Searching parks on the next beacon; crashed parks after the
+		// reboot's first beacon.
+	}
+}
+
+// parkBeaconEvery is the parked node's doze ratio: a beacon-only node
+// wakes for one beacon window in this many cycles and dead-reckons
+// across the gap. Beacon listening dominates a parked node's budget
+// (there is no other traffic left), so the ratio — not the parking
+// itself — is what makes the final degradation rung cheap; the residual
+// drift accumulated over the dozed cycles stays far inside the guard
+// margins at crystal tolerances.
+const parkBeaconEvery = 8
+
+// park settles into beacon-only mode: no slot, no data path, but beacon
+// windows stay armed so the node keeps network time (and stays visible
+// to the operator through beacon-rx events).
+func (m *NodeMac) park() {
+	m.noteLeftSlot()
+	m.state = stateParked
+	m.slot = -1
+	m.releasePending = false
+	m.queue = nil
+	m.loading = false
+	m.loaded = false
+	m.inFlight = nil
+	m.ssrScheduled = false
+	m.tracer.Record(m.k.Now(), m.name, trace.KindParked, "")
 }
 
 // txItem is one queued payload with its retransmission count.
@@ -343,12 +411,22 @@ func (m *NodeMac) handleBeacon(b packet.Beacon, payloadLen int) {
 	if m.state == stateSearching {
 		m.state = stateRequesting
 	}
+	if m.beaconOnly && m.state == stateRequesting {
+		// A beacon-only node never requests a slot: synchronise and park.
+		m.park()
+	}
 
 	// Grant / slot-table scan.
 	found := false
 	for _, e := range b.Entries {
 		if e.NodeID == m.cfg.NodeID {
 			found = true
+			if m.state == stateParked {
+				// We released this slot; a stale table row (our release
+				// frame lost, silence reclaim still pending) must not
+				// re-join us.
+				break
+			}
 			if m.state != stateJoined {
 				m.slot = int(e.Slot)
 				m.state = stateJoined
@@ -389,15 +467,40 @@ func (m *NodeMac) afterBeacon() {
 	case stateRequesting:
 		m.scheduleSSR()
 	case stateJoined:
+		if m.releasePending {
+			m.scheduleRelease()
+			return
+		}
+		if m.stretchEvery >= 2 {
+			m.stretchCount++
+			if m.stretchCount%uint64(m.stretchEvery) == 0 {
+				// Duty-cycle stretch: sleep through our slot this cycle.
+				// The queue keeps filling; its cap converts the stretch
+				// into deterministic tail drops instead of latency creep.
+				m.stats.SlotsSkipped++
+				m.tracer.Recordf(m.k.Now(), m.name, trace.KindSlotSkip, "cycle=%d", m.stretchCount)
+				return
+			}
+		}
 		m.tryLoad()
 		m.scheduleSlotFire()
 	}
 }
 
+// windowStride reports how many cycles ahead the next beacon window
+// sits: 1 normally, the doze ratio when parked.
+func (m *NodeMac) windowStride() sim.Time {
+	if m.state == stateParked {
+		return parkBeaconEvery
+	}
+	return 1
+}
+
 // scheduleNextWindow arms the receiver for the next expected beacon.
 func (m *NodeMac) scheduleNextWindow() {
 	p := m.cfg.Profile
-	openAt := m.t0 + m.local(m.cycle-m.guard()-p.Radio.RxSettle)
+	stride := m.windowStride()
+	openAt := m.t0 + m.local(stride*m.cycle-m.guard()-p.Radio.RxSettle)
 	now := m.k.Now()
 	if openAt <= now {
 		openAt = now // degenerate cycles: open immediately
@@ -419,7 +522,7 @@ func (m *NodeMac) scheduleNextWindow() {
 		// early and late clocks alike. A saturated MCU can delay the
 		// whole pipeline past the nominal deadline; clamp so the window
 		// closes immediately instead of scheduling into the past.
-		deadline := m.t0 + m.local(m.cycle) + m.guard() +
+		deadline := m.t0 + m.local(stride*m.cycle) + m.guard() +
 			p.Radio.Airtime(m.maxBeaconPayload()) +
 			p.Radio.RxClockOut(m.maxBeaconPayload()) + 500*sim.Microsecond
 		if deadline < m.k.Now() {
@@ -449,8 +552,8 @@ func (m *NodeMac) onWindowTimeout() {
 		return
 	}
 	// Dead-reckon the next cycle from the last good reference; drift
-	// compounds here, one silent cycle at a time.
-	m.t0 += m.local(m.cycle)
+	// compounds here, one silent cycle (or dozed stretch) at a time.
+	m.t0 += m.local(m.windowStride() * m.cycle)
 	m.scheduleNextWindow()
 }
 
@@ -562,12 +665,69 @@ func (m *NodeMac) scheduleSSR() {
 	})
 }
 
+// scheduleRelease transmits the voluntary slot release in the node's own
+// data slot (collision-free by construction, like a data frame), then
+// parks the MAC in beacon-only mode. A lost release is tolerated: the
+// base station's silence reclaim frees the slot a few cycles later, and
+// the parked node ignores its stale table row until then.
+func (m *NodeMac) scheduleRelease() {
+	p := m.cfg.Profile
+	rel := packet.Release{NodeID: m.cfg.NodeID}
+	relAir := p.Radio.Airtime(packet.ReleaseBytes)
+	loadLead := p.Radio.TxClockIn(p.Radio.AddressBytes+packet.ReleaseBytes) +
+		p.MCU.CyclesToTime(p.Cost.SSRPrep) + 100*sim.Microsecond
+	fireAt := m.t0 + m.local(m.slotStart(m.slot))
+	prepAt := fireAt - loadLead
+	if prepAt <= m.k.Now() {
+		return // our slot already passed this cycle; announce on the next
+	}
+	loadedRel := false
+	gen := m.gen
+	m.k.ScheduleAt(prepAt, func(*sim.Kernel) {
+		if m.gen != gen {
+			return // armed before a crash
+		}
+		if m.state != stateJoined || !m.releasePending || m.ackWaiting ||
+			m.loading || m.radio.Mode() == radio.ModeRx {
+			return // busy radio or pipeline; retry on the next beacon
+		}
+		// Any stale data frame in the FIFO is abandoned: the application
+		// is already stopped, and the release overwrites the FIFO.
+		m.loaded = false
+		m.inFlight = nil
+		m.sched.Interrupt("release-prep", p.Cost.SSRPrep, func() {
+			if m.radio.Mode() == radio.ModeRx {
+				return
+			}
+			m.radio.Load(m.cfg.Plan.BSCtrl, rel.Marshal(), func() { loadedRel = true })
+		})
+	})
+	m.k.ScheduleAt(fireAt, func(*sim.Kernel) {
+		if m.gen != gen {
+			return // armed before a crash
+		}
+		if m.state != stateJoined || !m.releasePending || !loadedRel ||
+			m.radio.Mode() == radio.ModeRx {
+			return
+		}
+		m.radio.Fire(func() {
+			m.stats.ReleasesSent++
+			txDur := p.Radio.TxSettle + relAir
+			m.controlTxTime += txDur
+			m.ledger.AttributeLoss(energy.LossControl, m.radio.TxPowerW()*txDur.Seconds())
+			m.tracer.Recordf(m.k.Now(), m.name, trace.KindSlotRelease, "slot=%d", m.slot)
+			m.radio.PowerDown()
+			m.park()
+		})
+	})
+}
+
 // --- steady state: data path ---------------------------------------------
 
 // tryLoad moves the head-of-queue payload into the TX FIFO when the radio
 // is free and the next beacon window is far enough away.
 func (m *NodeMac) tryLoad() {
-	if m.state != stateJoined || m.loading || m.loaded || m.ackWaiting || len(m.queue) == 0 {
+	if m.state != stateJoined || m.releasePending || m.loading || m.loaded || m.ackWaiting || len(m.queue) == 0 {
 		return
 	}
 	if m.radio.Mode() == radio.ModeRx || m.radio.Mode() == radio.ModeTx {
@@ -692,6 +852,10 @@ func (m *NodeMac) onAckTimeout() {
 			m.inFlight.retries++
 			m.stats.Retries++
 			m.queue = append([]txItem{*m.inFlight}, m.queue...)
+		} else {
+			// Retries exhausted: the frame is gone for good.
+			m.stats.DataDropped++
+			m.tracer.Record(m.k.Now(), m.name, trace.KindDataDropped, "")
 		}
 	}
 	m.inFlight = nil

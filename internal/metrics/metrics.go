@@ -52,6 +52,14 @@ const (
 	KindLinkUp      Kind = "link-up"      // a blacked-out path was restored
 	KindJamOn       Kind = "jam-on"       // external interference burst began
 	KindJamOff      Kind = "jam-off"      // external interference burst ended
+
+	// Battery-lifecycle events (internal/battery through the node layer).
+	KindBrownout    Kind = "brownout"     // battery depleted; node crashed for good
+	KindDegrade     Kind = "degrade"      // node entered a lower-power degradation level
+	KindParked      Kind = "parked"       // node settled into beacon-only mode (no slot)
+	KindSlotSkip    Kind = "slot-skip"    // duty-cycle stretch slept through a data slot
+	KindSlotRelease Kind = "slot-release" // node handed its slot back to the base station
+	KindDataDropped Kind = "data-dropped" // frame discarded after retry exhaustion
 )
 
 // Histogram metric names. The MAC layer observes these through its
@@ -68,6 +76,10 @@ const (
 	// HistRejoin is the span from losing a slot (missed-beacon resync,
 	// reclaim, crash/reboot) to holding one again.
 	HistRejoin = "rejoin-time"
+	// HistDegraded is the residency time of each completed stay in a
+	// degraded battery level (stretch, downshift, beacon-only) —
+	// how long the graceful-degradation ladder holds a node at each rung.
+	HistDegraded = "degraded-time"
 )
 
 // Event is one recorded occurrence.

@@ -169,7 +169,7 @@ func TestSnapshotMergeOrderInvariant(t *testing.T) {
 			r.Record(0, node, KindDataTx, "")
 		}
 		r.Observe(node, HistSlotWait, lat)
-		return Assemble(r, nil, []CounterRow{{Node: node, Name: "mac.data-sent", Value: v}}, v)
+		return Assemble(r, nil, nil, []CounterRow{{Node: node, Name: "mac.data-sent", Value: v}}, v)
 	}
 	a := mk("node1", 3, 5*sim.Millisecond)
 	b := mk("node2", 7, 40*sim.Millisecond)
@@ -199,7 +199,7 @@ func TestSnapshotCSVShape(t *testing.T) {
 	r := NewRecorder(0)
 	r.Record(0, "node1", KindDataTx, "")
 	r.Observe("node1", HistTxToAck, 400*sim.Microsecond)
-	s := Assemble(r, nil, nil, 1)
+	s := Assemble(r, nil, nil, nil, 1)
 	csv := s.CSV()
 	lines := strings.Split(strings.TrimSpace(csv), "\n")
 	want := strings.Count(csv, ",") / (len(lines)) // every line same arity

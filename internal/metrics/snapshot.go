@@ -72,9 +72,10 @@ type NodeEnergy struct {
 }
 
 // Assemble builds a snapshot from a run's recorder, the finalized energy
-// reports and any extra component counters. The recorder may be nil
-// (events, counters and histograms are then empty).
-func Assemble(rec *Recorder, energies []NodeEnergy, extra []CounterRow, kernelEvents uint64) *Snapshot {
+// reports, any extra state rows (e.g. battery level residencies, which
+// no energy.Report carries) and extra component counters. The recorder
+// may be nil (events, counters and histograms are then empty).
+func Assemble(rec *Recorder, energies []NodeEnergy, extraStates []StateRow, extra []CounterRow, kernelEvents uint64) *Snapshot {
 	s := &Snapshot{
 		EventsRecorded: rec.Recorded(),
 		EventsDropped:  rec.Dropped(),
@@ -110,6 +111,7 @@ func Assemble(rec *Recorder, energies []NodeEnergy, extra []CounterRow, kernelEv
 			}
 		}
 	}
+	s.States = append(s.States, extraStates...)
 	s.Counters = append(s.Counters, rec.CounterRows()...)
 	s.Counters = append(s.Counters, extra...)
 	s.Hists = rec.HistRows()

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/app"
 	"repro/internal/asic"
+	"repro/internal/battery"
 	"repro/internal/channel"
 	"repro/internal/energy"
 	"repro/internal/mac"
@@ -20,6 +21,12 @@ import (
 	"repro/internal/tinyos"
 	"repro/internal/trace"
 )
+
+// batteryPollInterval is how often a battery-powered node settles its
+// ledger into the coulomb counter. It bounds the detection latency of
+// every watermark crossing; the debit amounts themselves are exact
+// regardless (the ledger integrates continuously).
+const batteryPollInterval = 50 * sim.Millisecond
 
 // Sensor is one wireless sensor node.
 type Sensor struct {
@@ -34,14 +41,22 @@ type Sensor struct {
 	Frontend *asic.Frontend
 	Mac      *mac.NodeMac
 	App      app.App
+	// Bat is the node's live battery; nil when the scenario runs the
+	// historical always-powered model.
+	Bat *battery.State
 
-	k *sim.Kernel
+	k          *sim.Kernel
+	tracer     *trace.Recorder
+	onBrownout func()
 }
 
 // sensorOpts collects the optional knobs of a sensor build.
 type sensorOpts struct {
-	mac  mac.NodeConfig
-	name string
+	mac       mac.NodeConfig
+	name      string
+	battery   *battery.Battery
+	brownoutV float64
+	degrade   *battery.DegradePolicy
 }
 
 // Option customises a sensor build.
@@ -70,6 +85,20 @@ func WithName(name string) Option {
 	return func(o *sensorOpts) { o.name = name }
 }
 
+// WithBattery powers the node from its own instance of cell: the energy
+// ledger is debited into a live coulomb counter as the run progresses,
+// the node browns out (crashes for good) when the terminal voltage
+// falls below brownoutV (0 = the cell's default cutoff), and policy —
+// which may be nil — degrades the node gracefully on the way down.
+func WithBattery(cell battery.Battery, brownoutV float64, policy *battery.DegradePolicy) Option {
+	return func(o *sensorOpts) {
+		c := cell
+		o.battery = &c
+		o.brownoutV = brownoutV
+		o.degrade = policy
+	}
+}
+
 // NewSensor builds the hardware/OS/MAC stack for node id on the shared
 // medium. Attach an application with AttachApp before Start.
 func NewSensor(k *sim.Kernel, ch *channel.Channel, tracer *trace.Recorder,
@@ -91,7 +120,7 @@ func NewSensor(k *sim.Kernel, ch *channel.Channel, tracer *trace.Recorder,
 	r := radio.New(k, o.name, prof.Radio, ch, sched, ledger, tracer)
 	fe := asic.New(k, prof.ASIC, ledger)
 	nm := mac.NewNodeMac(k, o.mac, sched, r, ledger, tracer)
-	return &Sensor{
+	s := &Sensor{
 		Name:     o.name,
 		ID:       id,
 		Profile:  prof,
@@ -103,7 +132,12 @@ func NewSensor(k *sim.Kernel, ch *channel.Channel, tracer *trace.Recorder,
 		Mac:      nm,
 		App:      nil,
 		k:        k,
+		tracer:   tracer,
 	}
+	if o.battery != nil {
+		s.Bat = battery.NewState(*o.battery, o.brownoutV, o.degrade, k.Now())
+	}
+	return s
 }
 
 // Env builds the application environment over this node's facilities.
@@ -126,6 +160,11 @@ func (s *Sensor) AttachApp(build func(env app.Env) app.App, tracer *trace.Record
 	s.App = build(s.Env(tracer))
 }
 
+// OnBrownout registers a callback fired once when the node's battery
+// browns out (after the crash has been executed). The core layer uses it
+// to record the emergent fault in the injector's outcome list.
+func (s *Sensor) OnBrownout(fn func()) { s.onBrownout = fn }
+
 // Start powers the node on: the MAC begins its join procedure and the
 // application starts once a slot is granted.
 func (s *Sensor) Start() {
@@ -134,6 +173,83 @@ func (s *Sensor) Start() {
 	}
 	s.Mac.OnJoined(func() { s.App.Start() })
 	s.Mac.Start()
+	if s.Bat != nil {
+		s.k.Schedule(batteryPollInterval, func(*sim.Kernel) { s.pollBattery() })
+	}
+}
+
+// pollBattery settles the ledger into the coulomb counter on a fixed
+// cadence. The chain survives injected crash/reboot cycles (a powered-
+// off node draws ~nothing, so the debits are near-zero) and ends only
+// when the battery browns out.
+func (s *Sensor) pollBattery() {
+	if s.Bat == nil || s.Bat.Dead() {
+		return
+	}
+	if s.settleBattery(s.k.Now()) {
+		return // browned out: the node is gone for the rest of the run
+	}
+	s.k.Schedule(batteryPollInterval, func(*sim.Kernel) { s.pollBattery() })
+}
+
+// settleBattery flushes the ledger, debits the battery and applies any
+// degradation transition. It reports whether the node just browned out.
+func (s *Sensor) settleBattery(now sim.Time) bool {
+	s.Ledger.Flush(now)
+	tr := s.Bat.Debit(now, s.Ledger.TotalJ())
+	if tr.To == tr.From {
+		return false
+	}
+	if tr.From > battery.LevelNormal && tr.TimeInFrom > 0 {
+		s.tracer.Observe(s.Name, trace.HistDegraded, tr.TimeInFrom)
+	}
+	if tr.Died {
+		s.tracer.Recordf(now, s.Name, trace.KindBrownout, "v=%.2f soc=%.1f%%",
+			s.Bat.VoltageV(), s.Bat.SOC()*100)
+		s.Crash()
+		if s.onBrownout != nil {
+			s.onBrownout()
+		}
+		return true
+	}
+	p := s.Bat.Policy()
+	for lvl := tr.From + 1; lvl <= tr.To; lvl++ {
+		switch lvl {
+		case battery.LevelStretch:
+			s.Mac.SetSlotStretch(p.StretchEvery)
+		case battery.LevelDownshift:
+			if d, ok := s.App.(app.Downshifter); ok {
+				d.Downshift(p.DownshiftFactor)
+			}
+		case battery.LevelBeaconOnly:
+			if s.App != nil {
+				s.App.Stop()
+			}
+			s.Mac.EnterBeaconOnly()
+		}
+		s.tracer.Recordf(now, s.Name, trace.KindDegrade, "level=%s soc=%.1f%%",
+			lvl, s.Bat.SOC()*100)
+	}
+	return false
+}
+
+// FinalizeBattery settles the outstanding ledger draw, closes the open
+// degraded-level interval in the histogram and snapshots the battery
+// report (nil when the node has no battery).
+func (s *Sensor) FinalizeBattery(now sim.Time) *battery.Report {
+	if s.Bat == nil {
+		return nil
+	}
+	if !s.Bat.Dead() {
+		s.settleBattery(now)
+	}
+	if lvl := s.Bat.Level(); lvl > battery.LevelNormal && lvl < battery.LevelDead {
+		if open := now - s.Bat.LevelSince(); open > 0 {
+			s.tracer.Observe(s.Name, trace.HistDegraded, open)
+		}
+	}
+	rep := s.Bat.Snapshot(now)
+	return &rep
 }
 
 // Crash models a sudden power loss: the application stops sampling, the
@@ -164,6 +280,15 @@ func (s *Sensor) Reboot() {
 // instant now, so a measurement window excludes the join transient.
 func (s *Sensor) ResetAccounting(now sim.Time) {
 	s.Ledger.Flush(now)
+	if s.Bat != nil {
+		// Settle the pre-reset draw into the battery (warmup energy is
+		// real charge spent), then realign the diff baseline with the
+		// ledger's restart.
+		if !s.Bat.Dead() {
+			s.settleBattery(now)
+		}
+		s.Bat.NoteLedgerReset()
+	}
 	s.Ledger.Reset(now)
 	s.MCU.ResetAccounting()
 	s.Radio.ResetAccounting()

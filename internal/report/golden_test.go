@@ -110,7 +110,7 @@ func sampleSnapshot() *metrics.Snapshot {
 	rec.Observe("node1", metrics.HistSlotWait, 5*sim.Millisecond)
 	rec.Observe("node1", metrics.HistSlotWait, 9*sim.Millisecond)
 	rec.Observe("node1", metrics.HistTxToAck, 420*sim.Microsecond)
-	s := metrics.Assemble(rec, nil, []metrics.CounterRow{
+	s := metrics.Assemble(rec, nil, nil, []metrics.CounterRow{
 		{Node: "node1", Name: "mac.data-sent", Value: 1},
 	}, 12345)
 	s.States = []metrics.StateRow{

@@ -1,0 +1,53 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/battery"
+	"repro/internal/sim"
+)
+
+// NodeBattery pairs a node with its end-of-run battery summary.
+type NodeBattery struct {
+	Name   string
+	Report *battery.Report
+}
+
+// RenderLifetime formats the battery outcome of a run: per-node residual
+// charge, terminal voltage and degradation level, then the network-level
+// lifetime figures. It returns "" when no node carries a battery, so
+// callers can print it unconditionally.
+func RenderLifetime(nodes []NodeBattery, firstDeath, networkLifetime sim.Time) string {
+	have := false
+	for _, n := range nodes {
+		if n.Report != nil {
+			have = true
+			break
+		}
+	}
+	if !have {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("Battery:\n")
+	for _, n := range nodes {
+		rep := n.Report
+		if rep == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-8s soc %5.1f%%  %.2f V  level %-11s",
+			n.Name, rep.SOC*100, rep.VoltageV, rep.LevelName)
+		if rep.Died {
+			fmt.Fprintf(&b, "  died at %v", rep.DiedAt)
+		}
+		b.WriteString("\n")
+	}
+	if firstDeath > 0 {
+		fmt.Fprintf(&b, "  first death: %v\n", firstDeath)
+	}
+	if networkLifetime > 0 {
+		fmt.Fprintf(&b, "  network lifetime (<50%% alive): %v\n", networkLifetime)
+	}
+	return b.String()
+}

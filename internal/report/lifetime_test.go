@@ -1,0 +1,62 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/sim"
+)
+
+// sampleLifetime is a canned battery outcome exercising every
+// RenderLifetime branch: a healthy node, a degraded survivor, a dead
+// node with its brownout instant, and a battery-less node that must be
+// skipped.
+func sampleLifetime() ([]NodeBattery, sim.Time, sim.Time) {
+	nodes := []NodeBattery{
+		{Name: "node1", Report: &battery.Report{
+			SOC: 0.724, VoltageV: 2.93, Level: battery.LevelNormal, LevelName: "normal",
+		}},
+		{Name: "node2", Report: &battery.Report{
+			SOC: 0.061, VoltageV: 2.41, Level: battery.LevelBeaconOnly, LevelName: "beacon-only",
+		}},
+		{Name: "node3", Report: &battery.Report{
+			SOC: 0, VoltageV: 2.0, Level: battery.LevelDead, LevelName: "dead",
+			Died: true, DiedAt: 20555 * sim.Millisecond,
+		}},
+		{Name: "node4"},
+	}
+	return nodes, 20555 * sim.Millisecond, 21 * sim.Second
+}
+
+func TestGoldenRenderLifetime(t *testing.T) {
+	nodes, first, lifetime := sampleLifetime()
+	checkGolden(t, "lifetime.txt.golden", RenderLifetime(nodes, first, lifetime))
+}
+
+func TestRenderLifetimeQuietWithoutBatteries(t *testing.T) {
+	nodes := []NodeBattery{{Name: "node1"}, {Name: "node2"}}
+	if out := RenderLifetime(nodes, 0, 0); out != "" {
+		t.Fatalf("battery-less run rendered %q, want silence", out)
+	}
+	if out := RenderLifetime(nil, 0, 0); out != "" {
+		t.Fatalf("empty run rendered %q, want silence", out)
+	}
+}
+
+// TestRenderLifetimeOmitsZeroFigures: a run every node survived prints
+// no death or lifetime lines, only the per-node state.
+func TestRenderLifetimeOmitsZeroFigures(t *testing.T) {
+	nodes := []NodeBattery{{Name: "node1", Report: &battery.Report{
+		SOC: 0.5, VoltageV: 2.8, LevelName: "normal",
+	}}}
+	out := RenderLifetime(nodes, 0, 0)
+	if out == "" {
+		t.Fatal("battery run rendered nothing")
+	}
+	for _, banned := range []string{"first death", "network lifetime"} {
+		if strings.Contains(out, banned) {
+			t.Fatalf("survivor-only render mentions %q:\n%s", banned, out)
+		}
+	}
+}

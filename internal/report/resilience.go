@@ -54,6 +54,8 @@ func RenderResilience(nodes []NodeAvailability, outcomes []fault.Outcome, slotsR
 				fmt.Fprintf(&b, "rebooted at %v, never rejoined", o.RebootedAt)
 			}
 			fmt.Fprintf(&b, "; delivery during outage %d/%d", o.AckedDuring, o.SentDuring)
+		case fault.KindBrownout:
+			b.WriteString("battery depleted; node down for the rest of the run")
 		default:
 			fmt.Fprintf(&b, "delivery during window %d/%d (%.1f%%)",
 				o.AckedDuring, o.SentDuring, o.DeliveryDuring()*100)

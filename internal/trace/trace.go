@@ -36,6 +36,13 @@ const (
 	KindLinkUp      = metrics.KindLinkUp
 	KindJamOn       = metrics.KindJamOn
 	KindJamOff      = metrics.KindJamOff
+
+	KindBrownout    = metrics.KindBrownout
+	KindDegrade     = metrics.KindDegrade
+	KindParked      = metrics.KindParked
+	KindSlotSkip    = metrics.KindSlotSkip
+	KindSlotRelease = metrics.KindSlotRelease
+	KindDataDropped = metrics.KindDataDropped
 )
 
 // Histogram metric names the MAC layer observes through its tracer.
@@ -43,6 +50,7 @@ const (
 	HistSlotWait = metrics.HistSlotWait
 	HistTxToAck  = metrics.HistTxToAck
 	HistRejoin   = metrics.HistRejoin
+	HistDegraded = metrics.HistDegraded
 )
 
 // Event is one recorded occurrence.
