@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint banlint build test race cover bench fuzz sweep-demo
+.PHONY: ci vet lint banlint build test race cover bench bench-snapshot bench-check fuzz sweep-demo
 
-ci: vet lint banlint build test race cover
+ci: vet lint banlint build test race cover bench-check
 
 vet:
 	$(GO) vet ./...
@@ -74,6 +74,23 @@ cover:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# The committed kernel-performance trajectory (README "Performance"):
+# BENCH_<pr>.json snapshots the simbench reference workload on both
+# schedulers. bench-check is the CI gate — it reruns the workload and
+# fails on a >25% ns/event regression, an allocs/event excursion, or a
+# changed event count. When a PR intentionally moves the numbers (or
+# changes the workload), refresh the snapshot in the same commit:
+#
+#     make bench-snapshot          # the "-update" flow
+#
+BENCH_SNAPSHOT = BENCH_6.json
+
+bench-snapshot:
+	$(GO) run ./cmd/bench -out $(BENCH_SNAPSHOT)
+
+bench-check:
+	$(GO) run ./cmd/bench -check $(BENCH_SNAPSHOT)
 
 # Continuous fuzzing of the scenario JSON loader (bounded for CI use;
 # raise -fuzztime locally).

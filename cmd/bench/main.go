@@ -1,0 +1,192 @@
+// Command bench runs the fixed simbench reference workload on both
+// kernel schedulers and snapshots the result as a BENCH_<pr>.json file —
+// the committed performance trajectory described in README "Performance".
+//
+//	go run ./cmd/bench -out BENCH_6.json     # (re)generate the snapshot
+//	go run ./cmd/bench -check BENCH_6.json   # CI gate: fail on regression
+//
+// The workload itself is deterministic (same event count every run, on
+// both schedulers); only the wall-clock figures vary with the machine.
+// -check therefore compares ns/event against the committed snapshot
+// with a generous tolerance (default 25%), verifies the event count
+// bit-exactly, and holds the two hard invariants of the speed program:
+// the wheel stays under 0.5 allocs/event and meaningfully faster than
+// the heap baseline measured in the same process.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simbench"
+)
+
+// Measurement is one scheduler's figures on the reference workload.
+type Measurement struct {
+	NsPerEvent     float64 `json:"ns_per_event"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+// Snapshot is the committed BENCH_<pr>.json payload.
+type Snapshot struct {
+	Schema   string      `json:"schema"`
+	Workload string      `json:"workload"`
+	Events   uint64      `json:"events"`
+	Wheel    Measurement `json:"wheel"`
+	Heap     Measurement `json:"heap"`
+	// Speedup is wheel events/sec over heap events/sec, measured in the
+	// same process on the same machine.
+	Speedup float64 `json:"speedup"`
+}
+
+const (
+	schema       = "bench-snapshot/v1"
+	workloadDesc = "simbench reference: 8-node TDMA, 30ms cycle, 205Hz sampling, 60 virtual seconds"
+	// allocsSlack is the absolute allowance on allocs/event in -check;
+	// allocation counts are near-deterministic but warmup noise exists.
+	allocsSlack = 0.05
+	// maxWheelAllocs is the speed program's hard budget for the wheel.
+	maxWheelAllocs = 0.5
+	// minSpeedup is the floor on wheel-vs-heap throughput in -check,
+	// deliberately under the snapshot's figure: it guards the invariant
+	// (wheel is decisively faster) without being wall-clock brittle.
+	minSpeedup = 2.0
+)
+
+// measure runs the workload reps times on fresh kernels from mk and
+// keeps the best wall time (least scheduler noise) and the smallest
+// allocation count.
+func measure(mk func(int64) *sim.Kernel, cfg simbench.Config, reps int) (Measurement, uint64) {
+	var events uint64
+	bestNs := float64(0)
+	bestAllocs := float64(0)
+	simbench.Run(mk(1), cfg) // warmup: page in code, grow pools once
+	var ms runtime.MemStats
+	for r := 0; r < reps; r++ {
+		k := mk(1)
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		m0 := ms.Mallocs
+		start := time.Now()
+		res := simbench.Run(k, cfg)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		allocs := float64(ms.Mallocs - m0)
+		if events != 0 && events != res.Executed {
+			fatalf("nondeterministic workload: %d then %d events", events, res.Executed)
+		}
+		events = res.Executed
+		ns := float64(wall.Nanoseconds())
+		if r == 0 || ns < bestNs {
+			bestNs = ns
+		}
+		if r == 0 || allocs < bestAllocs {
+			bestAllocs = allocs
+		}
+	}
+	n := float64(events)
+	return Measurement{
+		NsPerEvent:     bestNs / n,
+		EventsPerSec:   n / (bestNs / 1e9),
+		AllocsPerEvent: bestAllocs / n,
+	}, events
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	out := flag.String("out", "", "write a fresh snapshot to this file")
+	check := flag.String("check", "", "compare a fresh run against this committed snapshot")
+	reps := flag.Int("reps", 5, "measurement repetitions per scheduler (best-of)")
+	tol := flag.Float64("tolerance", 0.25, "relative ns/event regression tolerance for -check")
+	flag.Parse()
+	if (*out == "") == (*check == "") {
+		fatalf("exactly one of -out or -check is required")
+	}
+
+	cfg := simbench.Reference()
+	wheel, wheelEvents := measure(sim.NewKernel, cfg, *reps)
+	heap, heapEvents := measure(sim.NewHeapKernel, cfg, *reps)
+	if wheelEvents != heapEvents {
+		fatalf("schedulers disagree on event count: wheel %d, heap %d", wheelEvents, heapEvents)
+	}
+	snap := Snapshot{
+		Schema:   schema,
+		Workload: workloadDesc,
+		Events:   wheelEvents,
+		Wheel:    wheel,
+		Heap:     heap,
+		Speedup:  wheel.EventsPerSec / heap.EventsPerSec,
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("bench: wrote %s\n", *out)
+		report(snap)
+		return
+	}
+
+	data, err := os.ReadFile(*check)
+	if err != nil {
+		fatalf("%v (regenerate with `make bench-snapshot`)", err)
+	}
+	var want Snapshot
+	if err := json.Unmarshal(data, &want); err != nil {
+		fatalf("bad snapshot %s: %v", *check, err)
+	}
+	if want.Schema != schema {
+		fatalf("snapshot schema %q, this binary speaks %q", want.Schema, schema)
+	}
+	report(snap)
+	fail := false
+	complain := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "bench: FAIL: "+format+"\n", args...)
+		fail = true
+	}
+	if snap.Events != want.Events {
+		complain("event count %d != committed %d: the workload changed; update %s "+
+			"(make bench-snapshot) in the same commit", snap.Events, want.Events, *check)
+	}
+	limit := want.Wheel.NsPerEvent * (1 + *tol)
+	if snap.Wheel.NsPerEvent > limit {
+		complain("wheel %.1f ns/event exceeds committed %.1f +%.0f%% = %.1f",
+			snap.Wheel.NsPerEvent, want.Wheel.NsPerEvent, *tol*100, limit)
+	}
+	if snap.Wheel.AllocsPerEvent > want.Wheel.AllocsPerEvent+allocsSlack {
+		complain("wheel %.3f allocs/event exceeds committed %.3f (+%.2f slack)",
+			snap.Wheel.AllocsPerEvent, want.Wheel.AllocsPerEvent, allocsSlack)
+	}
+	if snap.Wheel.AllocsPerEvent > maxWheelAllocs {
+		complain("wheel %.3f allocs/event exceeds the %.1f budget", snap.Wheel.AllocsPerEvent, maxWheelAllocs)
+	}
+	if snap.Speedup < minSpeedup {
+		complain("wheel only %.2fx the heap baseline (floor %.1fx)", snap.Speedup, minSpeedup)
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Println("bench: ok (within tolerance of committed snapshot)")
+}
+
+func report(s Snapshot) {
+	fmt.Printf("bench: %s\n", s.Workload)
+	fmt.Printf("bench: %d events | wheel %.1f ns/event %.0f ev/s %.3f allocs/event | "+
+		"heap %.1f ns/event %.0f ev/s %.3f allocs/event | speedup %.2fx\n",
+		s.Events, s.Wheel.NsPerEvent, s.Wheel.EventsPerSec, s.Wheel.AllocsPerEvent,
+		s.Heap.NsPerEvent, s.Heap.EventsPerSec, s.Heap.AllocsPerEvent, s.Speedup)
+}

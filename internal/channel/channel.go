@@ -147,6 +147,13 @@ type Channel struct {
 	jamDepth int
 	active   []*transmission
 	stats    Stats
+	// txPool recycles transmission records (and their image buffers)
+	// once finishTx has delivered them, so steady-state traffic stops
+	// allocating per frame. corruptBuf is the scratch a corrupted copy
+	// is built in; receivers copy the image out synchronously inside
+	// Deliver, so one buffer serves every delivery.
+	txPool     []*transmission
+	corruptBuf []byte
 }
 
 // New creates an empty medium on the kernel.
@@ -249,12 +256,18 @@ func (c *Channel) BeginTx(from Transceiver, image []byte, airtime sim.Time) {
 		panic("channel: non-positive airtime")
 	}
 	now := c.k.Now()
-	tx := &transmission{
-		from:  from,
-		image: append([]byte(nil), image...),
-		start: now,
-		end:   now + airtime,
+	var tx *transmission
+	if n := len(c.txPool); n > 0 {
+		tx = c.txPool[n-1]
+		c.txPool = c.txPool[:n-1]
+	} else {
+		tx = &transmission{}
 	}
+	tx.from = from
+	tx.image = append(tx.image[:0], image...)
+	tx.start = now
+	tx.end = now + airtime
+	tx.cause = Clean
 	// External interference corrupts the frame outright.
 	if c.jamDepth > 0 {
 		tx.cause = Jammed
@@ -347,23 +360,37 @@ func (c *Channel) finishTx(tx *transmission) {
 		c.stats.Deliveries++
 		rx.Deliver(image, cause)
 	}
+	tx.from = nil
+	c.txPool = append(c.txPool, tx)
 }
 
 // corruptCopy flips one to three bits of a copy of image so that the
-// receiver's CRC check fails the way real corrupted frames do.
+// receiver's CRC check fails the way real corrupted frames do. The copy
+// lives in the channel's scratch buffer and is only valid until the
+// next corruptCopy call; receivers take their own copy inside Deliver.
 func (c *Channel) corruptCopy(image []byte) []byte {
-	out := append([]byte(nil), image...)
+	out := append(c.corruptBuf[:0], image...)
+	c.corruptBuf = out
 	flips := 1 + c.k.Rand().Intn(3)
-	seen := make(map[int]bool, flips)
+	var flipped [3]int
 	for i := 0; i < flips; i++ {
 		bit := c.k.Rand().Intn(len(out) * 8)
-		for seen[bit] { // distinct bits: re-flipping would undo the damage
+		for contains(flipped[:i], bit) { // distinct bits: re-flipping would undo the damage
 			bit = c.k.Rand().Intn(len(out) * 8)
 		}
-		seen[bit] = true
+		flipped[i] = bit
 		out[bit/8] ^= 1 << uint(bit%8)
 	}
 	return out
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // Busy reports whether any frame is currently on the air.

@@ -134,7 +134,20 @@ type Config struct {
 	// the measurement window. Collection never changes the simulation,
 	// only what is reported.
 	Metrics bool
+	// Scheduler selects the kernel's event scheduler: "" or
+	// SchedulerWheel for the pooled hierarchical timer wheel (the
+	// default), SchedulerHeap for the original binary heap retained as
+	// the reference implementation. Both dispatch in the identical
+	// (at, seq) order, so results are bit-equal; the heap exists for
+	// differential validation, not for production runs.
+	Scheduler string
 }
+
+// Scheduler values accepted by Config.Scheduler.
+const (
+	SchedulerWheel = "wheel"
+	SchedulerHeap  = "heap"
+)
 
 // Validate checks the configuration, applying documented defaults.
 func (c *Config) Validate() error {
@@ -221,6 +234,11 @@ func (c *Config) Validate() error {
 	}
 	if c.TraceLimit == 0 {
 		c.TraceLimit = 200000
+	}
+	switch c.Scheduler {
+	case "", SchedulerWheel, SchedulerHeap:
+	default:
+		return fmt.Errorf("core: unknown scheduler %q", c.Scheduler)
 	}
 	if c.StartStagger == 0 {
 		c.StartStagger = 5 * sim.Millisecond
@@ -362,6 +380,9 @@ func Run(cfg Config) (Results, error) {
 	}
 
 	k := sim.NewKernel(cfg.Seed)
+	if cfg.Scheduler == SchedulerHeap {
+		k = sim.NewHeapKernel(cfg.Seed)
+	}
 	ch := channel.New(k)
 	tracer := trace.New(cfg.TraceLimit)
 

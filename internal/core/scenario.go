@@ -34,6 +34,7 @@ type scenarioJSON struct {
 	Battery      *batteryJSON           `json:"battery,omitempty"`       // live cell per node
 	BrownoutV    float64                `json:"brownoutV,omitempty"`     // supply cutoff (0 = cell default)
 	Degrade      *battery.DegradePolicy `json:"degradePolicy,omitempty"` // low-battery watermarks
+	Scheduler    string                 `json:"scheduler,omitempty"`     // "wheel" (default) | "heap"
 }
 
 // batteryJSON names a cell either by preset ("cr2032" | "lipo160") or by
@@ -99,6 +100,7 @@ func ConfigFromJSON(data []byte) (Config, error) {
 		SlotReclaimCycles: s.SlotReclaim,
 		TraceLimit:        s.TraceLimit,
 		Metrics:           s.Metrics,
+		Scheduler:         s.Scheduler,
 	}
 	// Normalise an explicit empty list to nil so a decode/encode round
 	// trip is value-identical (the encoder omits the field either way).
@@ -147,6 +149,7 @@ func ConfigToJSON(cfg Config) ([]byte, error) {
 		Metrics:      cfg.Metrics,
 		BrownoutV:    cfg.BrownoutV,
 		Degrade:      cfg.Degrade,
+		Scheduler:    cfg.Scheduler,
 	}
 	if b := cfg.Battery; b != nil {
 		// Emit the resolved rating only: presets and scale factors are

@@ -97,6 +97,14 @@ type BS struct {
 	// the beacon has flown, the radio is owned by the beacon path and
 	// data acknowledgements are suppressed (the sender retries).
 	inBeaconPrep bool
+	// beaconBuf and ackBuf are marshal scratch for the two BS-originated
+	// packet kinds, reused across cycles so the steady-state beacon/ack
+	// path allocates nothing. Each buffer backs at most one loaded frame
+	// at a time: the inBeaconPrep guard keeps beacon and ack loads from
+	// overlapping, and a new marshal only happens after the previous
+	// frame has flown.
+	beaconBuf []byte
+	ackBuf    []byte
 }
 
 // NewBS wires a base station over its radio and OS.
@@ -247,11 +255,12 @@ func (bs *BS) prepareBeacon(fireAt sim.Time) {
 				bs.radio.SetRxAddresses(bs.cfg.Plan.BSData, bs.cfg.Plan.BSCtrl)
 				bs.radio.StartRx()
 				// The burst just ended; its air start is the reference.
-				bs.t0 = bs.k.Now() - p.Radio.Airtime(len(b.Marshal()))
+				bs.t0 = bs.k.Now() - p.Radio.Airtime(b.EncodedBytes())
 				bs.scheduleBeacon(bs.t0 + bs.cycle)
 			})
 		}
-		bs.radio.Load(bs.cfg.Plan.Beacon, b.Marshal(), func() {
+		bs.beaconBuf = b.AppendMarshal(bs.beaconBuf[:0])
+		bs.radio.Load(bs.cfg.Plan.Beacon, bs.beaconBuf, func() {
 			loaded = true
 			if due {
 				fire()
@@ -478,7 +487,8 @@ func (bs *BS) handleData(payload []byte) {
 			return
 		}
 		bs.radio.Standby()
-		bs.radio.Load(bs.cfg.Plan.NodeAddr(node), packet.Ack{}.Marshal(), func() {
+		bs.ackBuf = packet.Ack{}.AppendMarshal(bs.ackBuf[:0])
+		bs.radio.Load(bs.cfg.Plan.NodeAddr(node), bs.ackBuf, func() {
 			bs.radio.Fire(func() {
 				bs.stats.AcksSent++
 				bs.radio.SetRxAddresses(bs.cfg.Plan.BSData, bs.cfg.Plan.BSCtrl)

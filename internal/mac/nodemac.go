@@ -81,6 +81,10 @@ type NodeMac struct {
 	loading  bool // FIFO clock-in in progress
 	loaded   bool
 	inFlight *txItem // frame in the FIFO / awaiting ack (for retry)
+	// ctrlBuf is marshal scratch for control frames (SSR, Release). The
+	// node sends at most one control frame at a time — SSR only while
+	// requesting, Release only while joined — so one buffer suffices.
+	ctrlBuf []byte
 
 	missed        int
 	windowOpenAt  sim.Time
@@ -642,7 +646,8 @@ func (m *NodeMac) scheduleSSR() {
 				m.ssrScheduled = false
 				return
 			}
-			m.radio.Load(m.cfg.Plan.BSCtrl, ssr.Marshal(), func() { loadedSSR = true })
+			m.ctrlBuf = ssr.AppendMarshal(m.ctrlBuf[:0])
+			m.radio.Load(m.cfg.Plan.BSCtrl, m.ctrlBuf, func() { loadedSSR = true })
 		})
 	})
 	m.k.ScheduleAt(fireAt, func(*sim.Kernel) {
@@ -699,7 +704,8 @@ func (m *NodeMac) scheduleRelease() {
 			if m.radio.Mode() == radio.ModeRx {
 				return
 			}
-			m.radio.Load(m.cfg.Plan.BSCtrl, rel.Marshal(), func() { loadedRel = true })
+			m.ctrlBuf = rel.AppendMarshal(m.ctrlBuf[:0])
+			m.radio.Load(m.cfg.Plan.BSCtrl, m.ctrlBuf, func() { loadedRel = true })
 		})
 	})
 	m.k.ScheduleAt(fireAt, func(*sim.Kernel) {

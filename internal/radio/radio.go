@@ -83,11 +83,20 @@ type Radio struct {
 	ledger *energy.Ledger
 	tracer *trace.Recorder
 
-	mode     Mode
-	rxSince  sim.Time // listening valid from this instant (after settle)
-	draining bool
-	txBusy   bool
-	loaded   *packet.Frame // frame sitting in the TX FIFO after Load
+	mode      Mode
+	rxSince   sim.Time // listening valid from this instant (after settle)
+	draining  bool
+	txBusy    bool
+	hasLoaded bool
+	loaded    packet.Frame // frame sitting in the TX FIFO after Load
+	// txBuf and rxBuf are per-radio scratch buffers for the on-air image:
+	// encode into txBuf at burst start, copy a delivered image into rxBuf
+	// and decode in place. Steady-state transmit and receive therefore
+	// allocate nothing. rxBuf is safe to reuse per delivery because the
+	// channel never delivers to a radio whose FIFO drain is in progress
+	// (ListeningSince reports not-listening while draining).
+	txBuf []byte
+	rxBuf []byte
 	// gen invalidates in-flight transmit/drain callbacks across a crash:
 	// each scheduled step only applies when the generation it was issued
 	// under is still current.
@@ -220,6 +229,11 @@ func (r *Radio) StartRx() {
 // loop at the ShockBurst clock-in rate while the radio sits in standby.
 // done runs when the FIFO holds the complete frame. The radio must not be
 // receiving or transmitting.
+//
+// The payload slice is retained, not copied: the caller must keep its
+// bytes unchanged until the frame has started its burst (Fire's settle
+// instant, when the image is encoded), which lets MAC layers marshal
+// into reusable scratch buffers.
 func (r *Radio) Load(dest packet.Address, payload []byte, done func()) {
 	if r.txBusy {
 		panic(fmt.Sprintf("radio %s: Load during transmit sequence", r.name))
@@ -233,9 +247,9 @@ func (r *Radio) Load(dest packet.Address, payload []byte, done func()) {
 	}
 	r.setMode(ModeStandby)
 	loadDur := r.params.TxClockIn(r.params.AddressBytes + len(payload))
-	frame := packet.Frame{Dest: dest, Payload: payload}
 	r.sched.BusyLoad("radio-fifo-load", loadDur, func() {
-		r.loaded = &frame
+		r.loaded = packet.Frame{Dest: dest, Payload: payload}
+		r.hasLoaded = true
 		if done != nil {
 			done()
 		}
@@ -246,7 +260,7 @@ func (r *Radio) Load(dest packet.Address, payload []byte, done func()) {
 // then the 1 Mbps burst. done runs when the burst ends and the radio is
 // back in standby.
 func (r *Radio) Fire(done func()) {
-	if r.loaded == nil {
+	if !r.hasLoaded {
 		panic(fmt.Sprintf("radio %s: Fire with empty TX FIFO", r.name))
 	}
 	if r.txBusy {
@@ -255,8 +269,9 @@ func (r *Radio) Fire(done func()) {
 	if r.mode == ModeRx {
 		panic(fmt.Sprintf("radio %s: Fire while receiving", r.name))
 	}
-	frame := *r.loaded
-	r.loaded = nil
+	frame := r.loaded
+	r.loaded = packet.Frame{}
+	r.hasLoaded = false
 	r.txBusy = true
 	r.setMode(ModeTx)
 	air := r.params.Airtime(len(frame.Payload))
@@ -265,7 +280,10 @@ func (r *Radio) Fire(done func()) {
 		if r.gen != gen {
 			return // crashed during PLL settling; nothing reached the air
 		}
-		r.ch.BeginTx(r, frame.Encode(), air)
+		// Encode into the per-radio scratch; the channel copies the image
+		// into its own pooled buffer, so txBuf is free again on return.
+		r.txBuf = frame.AppendEncode(r.txBuf[:0])
+		r.ch.BeginTx(r, r.txBuf, air)
 		r.k.Schedule(air, func(*sim.Kernel) {
 			if r.gen != gen {
 				return // crashed mid-burst; AbortTx already truncated it
@@ -291,7 +309,8 @@ func (r *Radio) Crash() {
 		r.ch.AbortTx(r)
 		r.txBusy = false
 	}
-	r.loaded = nil
+	r.loaded = packet.Frame{}
+	r.hasLoaded = false
 	r.draining = false
 	r.setMode(ModeOff)
 }
@@ -316,7 +335,12 @@ func (r *Radio) ListeningSince() (sim.Time, bool) {
 // order the hardware applies it — CRC check, address filter, FIFO drain,
 // MCU interrupt.
 func (r *Radio) Deliver(image []byte, cause channel.Corruption) {
-	frame, crcOK, err := packet.Decode(image)
+	// The image buffer belongs to the channel and is recycled once
+	// delivery returns; copy it into the radio's scratch and decode in
+	// place, so the drain callback's frame stays valid without a
+	// per-frame payload allocation.
+	r.rxBuf = append(r.rxBuf[:0], image...)
+	frame, crcOK, err := packet.DecodeInPlace(r.rxBuf)
 	air := sim.Time(float64(len(image)+r.params.PreambleBytes) * 8 /
 		r.params.BitrateHz * float64(sim.Second))
 	r.productiveRx += air

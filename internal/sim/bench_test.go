@@ -2,52 +2,93 @@ package sim
 
 import "testing"
 
+// Kernel micro-benchmarks, each run against both schedulers: the pooled
+// timer wheel (the default) and the retained heap reference. The wheel
+// variants are the ones the committed BENCH trajectory tracks (via
+// cmd/bench); the heap variants exist so a regression in either shows
+// up as a ratio change, not just an absolute drift.
+func benchSchedulers(b *testing.B, run func(b *testing.B, mk func(int64) *Kernel)) {
+	b.Run("wheel", func(b *testing.B) { run(b, NewKernel) })
+	b.Run("heap", func(b *testing.B) { run(b, NewHeapKernel) })
+}
+
 // BenchmarkScheduleFire measures raw event throughput: schedule + fire of
 // a trivial handler — the kernel operation every model action reduces to.
 func BenchmarkScheduleFire(b *testing.B) {
-	b.ReportAllocs()
-	k := NewKernel(1)
-	for i := 0; i < b.N; i++ {
-		k.Schedule(Microsecond, func(*Kernel) {})
-		k.RunUntil(k.Now() + Microsecond)
-	}
+	benchSchedulers(b, func(b *testing.B, mk func(int64) *Kernel) {
+		b.ReportAllocs()
+		k := mk(1)
+		h := Handler(func(*Kernel) {})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.Schedule(Microsecond, h)
+			k.RunUntil(k.Now() + Microsecond)
+		}
+	})
 }
 
 // BenchmarkDeepQueue measures ordering cost with a large pending set.
 func BenchmarkDeepQueue(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		k := NewKernel(1)
-		for j := 0; j < 10000; j++ {
-			k.Schedule(Time(j%997)*Microsecond, func(*Kernel) {})
+	benchSchedulers(b, func(b *testing.B, mk func(int64) *Kernel) {
+		b.ReportAllocs()
+		h := Handler(func(*Kernel) {})
+		for i := 0; i < b.N; i++ {
+			k := mk(1)
+			for j := 0; j < 10000; j++ {
+				k.Schedule(Time(j%997)*Microsecond, h)
+			}
+			k.Run()
 		}
-		k.Run()
-	}
+	})
 }
 
 // BenchmarkCancel measures schedule+cancel round trips.
 func BenchmarkCancel(b *testing.B) {
-	b.ReportAllocs()
-	k := NewKernel(1)
-	for i := 0; i < b.N; i++ {
-		id := k.Schedule(Second, func(*Kernel) {})
-		k.Cancel(id)
-	}
+	benchSchedulers(b, func(b *testing.B, mk func(int64) *Kernel) {
+		b.ReportAllocs()
+		k := mk(1)
+		h := Handler(func(*Kernel) {})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := k.Schedule(Second, h)
+			k.Cancel(id)
+		}
+	})
 }
 
 // BenchmarkPeriodicTimer measures the timer service at a sampling-like
 // rate.
 func BenchmarkPeriodicTimer(b *testing.B) {
-	b.ReportAllocs()
-	k := NewKernel(1)
-	n := 0
-	t := NewTimer(k, func(*Kernel) { n++ })
-	t.StartPeriodic(5 * Millisecond)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		k.RunUntil(k.Now() + 5*Millisecond)
-	}
-	if n == 0 {
-		b.Fatal("timer never fired")
-	}
+	benchSchedulers(b, func(b *testing.B, mk func(int64) *Kernel) {
+		b.ReportAllocs()
+		k := mk(1)
+		n := 0
+		t := NewTimer(k, func(*Kernel) { n++ })
+		t.StartPeriodic(5 * Millisecond)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.RunUntil(k.Now() + 5*Millisecond)
+		}
+		if n == 0 {
+			b.Fatal("timer never fired")
+		}
+	})
+}
+
+// BenchmarkSameInstantBatch measures the TDMA-boundary shape: many
+// events landing on one instant, drained in a single ready batch.
+func BenchmarkSameInstantBatch(b *testing.B) {
+	benchSchedulers(b, func(b *testing.B, mk func(int64) *Kernel) {
+		b.ReportAllocs()
+		k := mk(1)
+		h := Handler(func(*Kernel) {})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			at := k.Now() + Millisecond
+			for j := 0; j < 32; j++ {
+				k.ScheduleAt(at, h)
+			}
+			k.RunUntil(at)
+		}
+	})
 }

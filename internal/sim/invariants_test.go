@@ -16,14 +16,37 @@ import (
 // The parallel experiment runner makes these guarantees load-bearing in
 // a new way: they are what lets a (Config, Seed) pair fully determine a
 // run regardless of which worker executes it.
+//
+// Every invariant runs against both schedulers: the pooled timer wheel
+// (the default) and the retained heap reference. Wheel-targeted
+// randomized differential tests and fuzz seeds live in wheel_test.go.
+
+// schedulers enumerates the kernel constructors the invariants must
+// hold for.
+var schedulers = []struct {
+	name string
+	mk   func(int64) *Kernel
+}{
+	{"wheel", NewKernel},
+	{"heap", NewHeapKernel},
+}
 
 // TestInvariantSameInstantFIFO schedules many handlers at a handful of
 // instants, in shuffled submission order per instant group, and asserts
 // that within each instant the firing order equals the scheduling order.
 func TestInvariantSameInstantFIFO(t *testing.T) {
+	for _, sc := range schedulers {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			invariantSameInstantFIFO(t, sc.mk)
+		})
+	}
+}
+
+func invariantSameInstantFIFO(t *testing.T, mk func(int64) *Kernel) {
 	for trial := 0; trial < 50; trial++ {
 		rng := rand.New(rand.NewSource(int64(trial)))
-		k := NewKernel(1)
+		k := mk(1)
 
 		instants := []Time{0, 3 * Millisecond, 3 * Millisecond, 7 * Millisecond, Second}
 		type firing struct {
@@ -61,9 +84,18 @@ func TestInvariantSameInstantFIFO(t *testing.T) {
 // from inside handlers at their own instant — and asserts none of them
 // fire.
 func TestInvariantCancelledNeverFires(t *testing.T) {
+	for _, sc := range schedulers {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			invariantCancelledNeverFires(t, sc.mk)
+		})
+	}
+}
+
+func invariantCancelledNeverFires(t *testing.T, mk func(int64) *Kernel) {
 	for trial := 0; trial < 50; trial++ {
 		rng := rand.New(rand.NewSource(int64(1000 + trial)))
-		k := NewKernel(1)
+		k := mk(1)
 
 		fired := map[EventID]bool{}
 		cancelled := map[EventID]bool{}
@@ -110,9 +142,18 @@ func TestInvariantCancelledNeverFires(t *testing.T) {
 // random follow-ups and cancels (the shape real MAC/timer code has) and
 // asserts Now never decreases, across handlers and kernel accessors.
 func TestInvariantTimeMonotonic(t *testing.T) {
+	for _, sc := range schedulers {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			invariantTimeMonotonic(t, sc.mk)
+		})
+	}
+}
+
+func invariantTimeMonotonic(t *testing.T, mk func(int64) *Kernel) {
 	for trial := 0; trial < 20; trial++ {
 		rng := rand.New(rand.NewSource(int64(2000 + trial)))
-		k := NewKernel(1)
+		k := mk(1)
 
 		last := Time(-1)
 		var live []EventID
@@ -152,8 +193,17 @@ func TestInvariantTimeMonotonic(t *testing.T) {
 // executed counter against an externally counted randomized workload
 // with cancellations.
 func TestInvariantExecutedMatchesFired(t *testing.T) {
+	for _, sc := range schedulers {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			invariantExecutedMatchesFired(t, sc.mk)
+		})
+	}
+}
+
+func invariantExecutedMatchesFired(t *testing.T, mk func(int64) *Kernel) {
 	rng := rand.New(rand.NewSource(3000))
-	k := NewKernel(1)
+	k := mk(1)
 	fired := 0
 	var ids []EventID
 	const n = 500

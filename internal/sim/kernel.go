@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -12,61 +11,28 @@ type Handler func(k *Kernel)
 
 // EventID identifies a scheduled event so it can be cancelled before it
 // fires. The zero EventID is never issued.
+//
+// Wheel-kernel IDs pack (pool slot + 1) in the high 32 bits and the
+// slot's generation counter in the low 32; heap-kernel IDs are a plain
+// counter. Both are opaque to callers — the only supported operations
+// are Cancel and comparison against a stored value.
 type EventID uint64
-
-// event is one pending entry in the kernel's queue.
-type event struct {
-	at      Time
-	seq     uint64 // tie-breaker: FIFO among events at the same instant
-	id      EventID
-	handler Handler
-	index   int // heap index, maintained by eventQueue
-	dead    bool
-}
-
-// eventQueue implements container/heap ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
 
 // Kernel is the discrete-event scheduler. It is not safe for concurrent
 // use: the whole simulation runs on one goroutine, which is what makes the
 // runs deterministic.
+//
+// Events are dispatched in (at, seq) order, where seq is a global
+// monotone counter: among events posted for the same instant, the one
+// scheduled first fires first. The default scheduler is the pooled
+// hierarchical timer wheel (wheel.go); NewHeapKernel retains the
+// original container/heap scheduler, byte-for-byte equivalent in
+// dispatch order, as the reference for differential tests.
 type Kernel struct {
 	now     Time
-	queue   eventQueue
 	nextSeq uint64
-	nextID  EventID
-	live    map[EventID]*event
+	wheel   wheel
+	legacy  *heapSched
 	rng     *rand.Rand
 	seed    int64
 
@@ -77,11 +43,22 @@ type Kernel struct {
 // NewKernel creates a kernel whose random streams derive from seed.
 // The same seed always reproduces the same simulation.
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{
-		live: make(map[EventID]*event),
+	k := &Kernel{
 		rng:  rand.New(rand.NewSource(seed)),
 		seed: seed,
 	}
+	k.wheel.init()
+	return k
+}
+
+// NewHeapKernel creates a kernel driven by the original binary-heap
+// scheduler. It dispatches in exactly the same (at, seq) order as the
+// timer wheel and exists so differential tests can pin the wheel
+// against the original implementation. Slower; not for production runs.
+func NewHeapKernel(seed int64) *Kernel {
+	k := NewKernel(seed)
+	k.legacy = newHeapSched()
+	return k
 }
 
 // Now reports the current virtual time.
@@ -94,7 +71,21 @@ func (k *Kernel) Seed() int64 { return k.seed }
 func (k *Kernel) Executed() uint64 { return k.executed }
 
 // Pending reports how many events are scheduled and not yet fired.
-func (k *Kernel) Pending() int { return len(k.live) }
+func (k *Kernel) Pending() int {
+	if k.legacy != nil {
+		return k.legacy.pending()
+	}
+	return k.wheel.live
+}
+
+// PoolStats reports the wheel kernel's event-pool accounting. A heap
+// kernel has no pool and reports the zero value.
+func (k *Kernel) PoolStats() PoolStats {
+	if k.legacy != nil {
+		return PoolStats{}
+	}
+	return k.wheel.stats()
+}
 
 // Rand returns the kernel's deterministic random source. All stochastic
 // model behaviour (bit errors, random SSR offsets, jitter) must draw from
@@ -112,11 +103,10 @@ func (k *Kernel) ScheduleAt(at Time, handler Handler) EventID {
 		panic(fmt.Sprintf("sim: event scheduled in the past (now=%v, at=%v)", k.now, at))
 	}
 	k.nextSeq++
-	k.nextID++
-	e := &event{at: at, seq: k.nextSeq, id: k.nextID, handler: handler}
-	heap.Push(&k.queue, e)
-	k.live[e.id] = e
-	return e.id
+	if k.legacy != nil {
+		return k.legacy.schedule(at, k.nextSeq, handler)
+	}
+	return k.wheel.schedule(at, k.nextSeq, handler)
 }
 
 // Schedule posts handler to run after the relative delay d (which may be
@@ -132,17 +122,10 @@ func (k *Kernel) Schedule(d Time, handler Handler) EventID {
 // Cancel removes a pending event. It reports whether the event was still
 // pending (false when it has already fired or been cancelled).
 func (k *Kernel) Cancel(id EventID) bool {
-	e, ok := k.live[id]
-	if !ok {
-		return false
+	if k.legacy != nil {
+		return k.legacy.cancel(id)
 	}
-	delete(k.live, id)
-	e.dead = true
-	e.handler = nil
-	if e.index >= 0 {
-		heap.Remove(&k.queue, e.index)
-	}
-	return true
+	return k.wheel.cancel(id)
 }
 
 // Stop makes Run/RunUntil return after the currently executing handler
@@ -152,20 +135,24 @@ func (k *Kernel) Stop() { k.stopped = true }
 // step fires the earliest pending event. It reports false when the queue
 // is empty.
 func (k *Kernel) step() bool {
-	for len(k.queue) > 0 {
-		e := heap.Pop(&k.queue).(*event)
-		if e.dead {
-			continue
+	if k.legacy != nil {
+		h, at, ok := k.legacy.next()
+		if !ok {
+			return false
 		}
-		delete(k.live, e.id)
-		k.now = e.at
+		k.now = at
 		k.executed++
-		h := e.handler
-		e.handler = nil
 		h(k)
 		return true
 	}
-	return false
+	if !k.wheel.ensureReady() {
+		return false
+	}
+	h, at := k.wheel.popReady()
+	k.now = at
+	k.executed++
+	h(k)
+	return true
 }
 
 // RunUntil executes events in order until the queue is empty, Stop is
@@ -177,12 +164,23 @@ func (k *Kernel) RunUntil(horizon Time) {
 		panic(fmt.Sprintf("sim: RunUntil horizon %v before now %v", horizon, k.now))
 	}
 	k.stopped = false
-	for !k.stopped {
-		next, ok := k.peekTime()
-		if !ok || next > horizon {
-			break
+	if k.legacy != nil {
+		for !k.stopped {
+			next, ok := k.legacy.peek()
+			if !ok || next > horizon {
+				break
+			}
+			k.step()
 		}
-		k.step()
+	} else {
+		// Drain the ready tail directly: a slot boundary's same-instant
+		// batch dispatches in this loop without touching the wheels again.
+		for !k.stopped && k.wheel.ensureReady() && k.wheel.peekReady() <= horizon {
+			h, at := k.wheel.popReady()
+			k.now = at
+			k.executed++
+			h(k)
+		}
 	}
 	if !k.stopped && k.now < horizon {
 		k.now = horizon
@@ -194,16 +192,4 @@ func (k *Kernel) Run() {
 	k.stopped = false
 	for !k.stopped && k.step() {
 	}
-}
-
-// peekTime reports the instant of the earliest live event.
-func (k *Kernel) peekTime() (Time, bool) {
-	for len(k.queue) > 0 {
-		if k.queue[0].dead {
-			heap.Pop(&k.queue)
-			continue
-		}
-		return k.queue[0].at, true
-	}
-	return 0, false
 }

@@ -6,6 +6,7 @@ package sim
 type Timer struct {
 	k       *Kernel
 	fn      Handler
+	h       Handler // t.fire bound once, so re-arming never allocates
 	id      EventID
 	period  Time
 	running bool
@@ -17,7 +18,9 @@ func NewTimer(k *Kernel, fn Handler) *Timer {
 	if fn == nil {
 		panic("sim: NewTimer with nil handler")
 	}
-	return &Timer{k: k, fn: fn}
+	t := &Timer{k: k, fn: fn}
+	t.h = t.fire
+	return t
 }
 
 // StartOneShot arms the timer to fire once after d. Any previous schedule
@@ -26,7 +29,7 @@ func (t *Timer) StartOneShot(d Time) {
 	t.Stop()
 	t.period = 0
 	t.running = true
-	t.id = t.k.Schedule(d, t.fire)
+	t.id = t.k.Schedule(d, t.h)
 }
 
 // StartPeriodic arms the timer to fire every period, first after one full
@@ -38,7 +41,7 @@ func (t *Timer) StartPeriodic(period Time) {
 	t.Stop()
 	t.period = period
 	t.running = true
-	t.id = t.k.Schedule(period, t.fire)
+	t.id = t.k.Schedule(period, t.h)
 }
 
 // StartPeriodicAt arms the timer to fire first at the absolute instant
@@ -50,7 +53,7 @@ func (t *Timer) StartPeriodicAt(first Time, period Time) {
 	t.Stop()
 	t.period = period
 	t.running = true
-	t.id = t.k.ScheduleAt(first, t.fire)
+	t.id = t.k.ScheduleAt(first, t.h)
 }
 
 // Stop disarms the timer. Safe to call on a stopped timer.
@@ -66,7 +69,7 @@ func (t *Timer) Running() bool { return t.running }
 
 func (t *Timer) fire(k *Kernel) {
 	if t.period > 0 {
-		t.id = k.Schedule(t.period, t.fire)
+		t.id = k.Schedule(t.period, t.h)
 	} else {
 		t.running = false
 	}

@@ -1,0 +1,157 @@
+// Package simbench defines the fixed reference workload behind the
+// committed BENCH_<pr>.json trajectory (see README "Performance"): a
+// TDMA-shaped kernel-only scenario that exercises every scheduler path
+// the real models hit — periodic sampling timers, per-cycle slot events,
+// same-instant beacon batches, schedule+cancel ack-timeout round trips
+// and far-future watchdogs that live in the wheel's overflow spill.
+//
+// The workload is a pure function of its Config: no wall clock, no
+// randomness, handlers pre-bound so the kernel's own cost dominates.
+// cmd/bench runs it on both schedulers (wheel and the retained heap
+// reference) and snapshots events/sec, ns/event and allocs/event.
+package simbench
+
+import "repro/internal/sim"
+
+// Config shapes the workload. All fields must be positive.
+type Config struct {
+	// Nodes is the BAN size: one slot, one sampler, one watchdog each.
+	Nodes int
+	// Cycle is the TDMA cycle; each cycle costs every node a beacon
+	// event, a slot event, an ack, a cancelled ack timeout and a
+	// watchdog re-arm.
+	Cycle sim.Time
+	// SampleEvery is the sampling-timer period (ECG-like).
+	SampleEvery sim.Time
+	// Duration is the simulated horizon.
+	Duration sim.Time
+}
+
+// Reference is the fixed configuration the committed snapshots use:
+// an 8-node BAN at the paper's 30 ms cycle and 205 Hz sampling, run
+// for 60 virtual seconds (the paper's measurement window).
+func Reference() Config {
+	return Config{
+		Nodes:       8,
+		Cycle:       30 * sim.Millisecond,
+		SampleEvery: sim.Time(int64(sim.Second) / 205),
+		Duration:    60 * sim.Second,
+	}
+}
+
+// Result reports what the workload did, for determinism checks.
+type Result struct {
+	// Executed is the kernel's own count of dispatched events.
+	Executed uint64
+	// Fired counts handler-level firings the workload observed.
+	Fired uint64
+	// Timeouts counts ack timeouts that fired (must be 0: every ack
+	// arrives before its timeout and cancels it).
+	Timeouts uint64
+	// Cancels counts successful cancellations (timeouts + watchdog
+	// re-arms).
+	Cancels uint64
+}
+
+// benchNode is one sensor node's event machinery, with handlers bound
+// once at construction so steady-state scheduling allocates nothing.
+type benchNode struct {
+	k    *sim.Kernel
+	cfg  Config
+	res  *Result
+	end  sim.Time
+	slot sim.Time // offset of this node's data slot within the cycle
+
+	ackID      sim.EventID
+	watchdogID sim.EventID
+
+	onSample   sim.Handler
+	onBeacon   sim.Handler
+	onSlot     sim.Handler
+	onAck      sim.Handler
+	onTimeout  sim.Handler
+	onWatchdog sim.Handler
+}
+
+func newBenchNode(k *sim.Kernel, cfg Config, id int, res *Result) *benchNode {
+	n := &benchNode{k: k, cfg: cfg, res: res, end: cfg.Duration,
+		slot: cfg.Cycle * sim.Time(id+1) / sim.Time(cfg.Nodes+2)}
+	n.onSample = n.sample
+	n.onBeacon = n.beacon
+	n.onSlot = n.slotTx
+	n.onAck = n.ack
+	n.onTimeout = n.timeout
+	n.onWatchdog = n.watchdog
+	return n
+}
+
+// sample is the periodic ADC tick.
+func (n *benchNode) sample(k *sim.Kernel) {
+	n.res.Fired++
+	if next := k.Now() + n.cfg.SampleEvery; next < n.end {
+		k.ScheduleAt(next, n.onSample)
+	}
+}
+
+// beacon is this node's share of the same-instant cycle-boundary batch;
+// it arms the node's data slot for this cycle.
+func (n *benchNode) beacon(k *sim.Kernel) {
+	n.res.Fired++
+	if at := k.Now() + n.slot; at < n.end {
+		k.ScheduleAt(at, n.onSlot)
+	}
+}
+
+// slotTx is the data-slot transmission: it starts an ack timeout, the
+// ack that will beat it, and re-arms the far-future sync watchdog (a
+// cancel+schedule pair that keeps one event per node in the overflow
+// spill, the way a lost-beacon deadline does).
+func (n *benchNode) slotTx(k *sim.Kernel) {
+	n.res.Fired++
+	n.ackID = k.Schedule(2*sim.Millisecond, n.onTimeout)
+	k.Schedule(sim.Millisecond, n.onAck)
+	if n.watchdogID != 0 && k.Cancel(n.watchdogID) {
+		n.res.Cancels++
+	}
+	n.watchdogID = k.Schedule(10*sim.Minute, n.onWatchdog)
+}
+
+// ack arrives before the timeout and cancels it.
+func (n *benchNode) ack(k *sim.Kernel) {
+	n.res.Fired++
+	if k.Cancel(n.ackID) {
+		n.res.Cancels++
+	}
+}
+
+func (n *benchNode) timeout(*sim.Kernel) { n.res.Fired++; n.res.Timeouts++ }
+
+func (n *benchNode) watchdog(*sim.Kernel) { n.res.Fired++ }
+
+// Run drives the workload on the given kernel until cfg.Duration and
+// reports what happened. The kernel must be fresh.
+func Run(k *sim.Kernel, cfg Config) Result {
+	var res Result
+	nodes := make([]*benchNode, cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = newBenchNode(k, cfg, i, &res)
+		// Stagger sampling phases like unsynchronised ADCs.
+		k.ScheduleAt(sim.Time(i)*cfg.SampleEvery/sim.Time(cfg.Nodes), nodes[i].onSample)
+	}
+	// The base station's beacon fans out one same-instant event per
+	// node at every cycle boundary — the TDMA batch shape.
+	var beaconTick sim.Handler
+	beaconTick = func(k *sim.Kernel) {
+		res.Fired++
+		for _, n := range nodes {
+			k.ScheduleAt(k.Now(), n.onBeacon)
+		}
+		if next := k.Now() + cfg.Cycle; next < cfg.Duration {
+			k.ScheduleAt(next, beaconTick)
+		}
+	}
+	k.ScheduleAt(0, beaconTick)
+	k.RunUntil(cfg.Duration)
+	res.Executed = k.Executed()
+	return res
+}

@@ -1,0 +1,52 @@
+package simbench
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestReferenceDeterministicAcrossSchedulers pins the property cmd/bench
+// leans on: the reference workload does exactly the same work on both
+// schedulers, so a snapshot's event count is comparable across kernels
+// and across runs.
+func TestReferenceDeterministicAcrossSchedulers(t *testing.T) {
+	cfg := Reference()
+	cfg.Duration = 5 * sim.Second // keep the unit test quick
+	wheel := Run(sim.NewKernel(1), cfg)
+	heap := Run(sim.NewHeapKernel(1), cfg)
+	if wheel != heap {
+		t.Fatalf("workload diverges across schedulers:\nwheel: %+v\nheap:  %+v", wheel, heap)
+	}
+	if wheel.Timeouts != 0 {
+		t.Fatalf("%d ack timeouts fired; every ack should cancel its timeout", wheel.Timeouts)
+	}
+	if wheel.Executed == 0 || wheel.Fired == 0 || wheel.Cancels == 0 {
+		t.Fatalf("degenerate workload: %+v", wheel)
+	}
+	// Repeat runs must be bit-identical (pure function of Config).
+	if again := Run(sim.NewKernel(1), cfg); again != wheel {
+		t.Fatalf("workload not reproducible: %+v vs %+v", again, wheel)
+	}
+}
+
+// TestReferenceExercisesPool checks the shapes the workload claims to
+// cover actually hit the wheel: pool reuse bounded by peak concurrency
+// and far-future watchdogs pending at the horizon (spill residents).
+func TestReferenceExercisesPool(t *testing.T) {
+	cfg := Reference()
+	cfg.Duration = 5 * sim.Second
+	k := sim.NewKernel(1)
+	res := Run(k, cfg)
+	st := k.PoolStats()
+	if st.Capacity > 256 {
+		t.Fatalf("pool grew to %d slots; workload should reach steady state", st.Capacity)
+	}
+	if st.Allocated < res.Fired {
+		t.Fatalf("allocated %d < fired %d", st.Allocated, res.Fired)
+	}
+	// One watchdog per node stays armed 10 minutes out.
+	if got := k.Pending(); got != cfg.Nodes {
+		t.Fatalf("pending at horizon = %d, want %d watchdogs", got, cfg.Nodes)
+	}
+}
