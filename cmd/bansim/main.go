@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/battery"
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -150,22 +151,25 @@ func applyBatteryFlags(cfg *core.Config, spec string, brownoutV float64, degrade
 
 func main() {
 	var (
-		appName  = flag.String("app", "streaming", "application: streaming | rpeak | hrv | eeg")
-		macName  = flag.String("mac", "static", "MAC variant: static | dynamic")
-		nodes    = flag.Int("nodes", 5, "number of sensor nodes")
-		cycle    = flag.Duration("cycle", 30*time.Millisecond, "static TDMA cycle length")
-		fs       = flag.Float64("fs", 205, "per-channel sampling frequency (Hz)")
-		hr       = flag.Float64("hr", 75, "synthetic ECG heart rate (bpm)")
-		duration = flag.Duration("duration", 60*time.Second, "measurement window")
-		warmup   = flag.Duration("warmup", 3*time.Second, "join/warm-up phase before measurement")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		ber      = flag.Float64("ber", 0, "per-bit error probability on every link")
-		format   = flag.String("format", "text", "output format: text | json")
-		confPath = flag.String("config", "", "JSON scenario file (overrides the other flags)")
-		reclaim  = flag.Int("reclaim", 0, "free a silent node's slot after this many beacon cycles (0 = never)")
-		batSpec  = flag.String("battery", "", "give every node a live cell: cr2032 | lipo160, with an optional capacity scale like cr2032@0.001")
-		brownout = flag.Float64("brownout", 0, "brownout voltage (0 = the cell's default cutoff); needs -battery")
-		degrade  = flag.Bool("degrade", false, "enable the default graceful-degradation policy; needs -battery")
+		appName    = flag.String("app", "streaming", "application: streaming | rpeak | hrv | eeg")
+		macName    = flag.String("mac", "static", "MAC variant: static | dynamic")
+		nodes      = flag.Int("nodes", 5, "number of sensor nodes")
+		cycle      = flag.Duration("cycle", 30*time.Millisecond, "static TDMA cycle length")
+		fs         = flag.Float64("fs", 205, "per-channel sampling frequency (Hz)")
+		hr         = flag.Float64("hr", 75, "synthetic ECG heart rate (bpm)")
+		duration   = flag.Duration("duration", 60*time.Second, "measurement window")
+		warmup     = flag.Duration("warmup", 3*time.Second, "join/warm-up phase before measurement")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		ber        = flag.Float64("ber", 0, "per-bit error probability on every link")
+		format     = flag.String("format", "text", "output format: text | json")
+		confPath   = flag.String("config", "", "JSON scenario file (overrides the other flags)")
+		reclaim    = flag.Int("reclaim", 0, "free a silent node's slot after this many beacon cycles (0 = never)")
+		batSpec    = flag.String("battery", "", "give every node a live cell: cr2032 | lipo160, with an optional capacity scale like cr2032@0.001")
+		brownout   = flag.Float64("brownout", 0, "brownout voltage (0 = the cell's default cutoff); needs -battery")
+		degrade    = flag.Bool("degrade", false, "enable the default graceful-degradation policy; needs -battery")
+		auditOn    = flag.Bool("audit", false, "run the invariant audits; any violation makes bansim exit non-zero")
+		auditEvery = flag.Duration("audit-every", 0, "audit sweep cadence in simulated time (0 = the engine default); implies -audit")
+
 		withMet  = flag.Bool("metrics", false, "collect and print the observability snapshot (state residency, counters, latency histograms)")
 		metOut   = flag.String("metrics-out", "", "write the metrics snapshot to this file (.csv = flat table, else JSON); implies -metrics")
 		traceOut = flag.String("trace-out", "", "write the event timeline as Chrome trace_event JSON (open in chrome://tracing or ui.perfetto.dev)")
@@ -190,6 +194,7 @@ func main() {
 			cfg.SlotReclaimCycles = *reclaim
 		}
 		applyBatteryFlags(&cfg, *batSpec, *brownout, *degrade)
+		applyAuditFlags(&cfg, *auditOn, *auditEvery)
 		cfg.Metrics = cfg.Metrics || *withMet || *metOut != ""
 		res, err := core.Run(cfg)
 		if err != nil {
@@ -238,11 +243,29 @@ func main() {
 		Metrics:           *withMet || *metOut != "",
 	}
 	applyBatteryFlags(&cfg, *batSpec, *brownout, *degrade)
+	applyAuditFlags(&cfg, *auditOn, *auditEvery)
 	res, err := core.Run(cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	emit(res, *format, *metOut, *traceOut)
+}
+
+// applyAuditFlags overlays the audit flags onto a config; like the fault
+// and battery flags they compose with a scenario file (a file's audit
+// block is kept, the flags only tighten it).
+func applyAuditFlags(cfg *core.Config, on bool, every time.Duration) {
+	if !on && every == 0 {
+		return
+	}
+	if cfg.Audit == nil {
+		cfg.Audit = &audit.Config{}
+	}
+	if every != 0 {
+		// Negative values flow through so validation rejects them, the
+		// same as a bad checkInterval in a scenario file.
+		cfg.Audit.Every = sim.FromDuration(every)
+	}
 }
 
 // emit prints the run in the chosen format and writes the optional
@@ -286,6 +309,20 @@ func emit(res core.Results, format, metOut, traceOut string) {
 			fmt.Fprintf(os.Stderr, "bansim: trace incomplete: %d event(s) dropped at the %d-event limit (raise -config traceLimit)\n",
 				d, res.Config.TraceLimit)
 		}
+	}
+	// Exit non-zero when the run is untrustworthy, after the full report
+	// has been printed: a violated invariant means the model broke one of
+	// its own laws, dropped metrics events mean the snapshot undercounts.
+	if res.Audit.Failed() {
+		n := uint64(len(res.Audit.Violations)) + res.Audit.Dropped
+		fmt.Fprintf(os.Stderr, "bansim: %d invariant violation(s) in %d checks; first: %s\n",
+			n, res.Audit.Checks, res.Audit.Violations[0])
+		os.Exit(1)
+	}
+	if res.Metrics != nil && res.Metrics.EventsDropped > 0 {
+		fmt.Fprintf(os.Stderr, "bansim: metrics incomplete: %d event(s) dropped at the ring limit; counters undercount\n",
+			res.Metrics.EventsDropped)
+		os.Exit(1)
 	}
 }
 
@@ -361,6 +398,10 @@ func printText(res core.Results) {
 		fmt.Println()
 		fmt.Print(s)
 	}
+	if s := report.RenderAudit(res.Audit); s != "" {
+		fmt.Println()
+		fmt.Print(s)
+	}
 }
 
 func orderedStates(c energy.ComponentReport) []energy.State {
@@ -394,6 +435,9 @@ type jsonResult struct {
 	// battery.
 	TimeToFirstDeath sim.Time `json:"timeToFirstDeath,omitempty"`
 	NetworkLifetime  sim.Time `json:"networkLifetime,omitempty"`
+	// Audit is the invariant-audit summary (present only when auditing
+	// was enabled).
+	Audit *audit.Summary `json:"audit,omitempty"`
 }
 
 type jsonNode struct {
@@ -413,7 +457,8 @@ type jsonNode struct {
 func printJSON(res core.Results) {
 	out := jsonResult{JoinedAll: res.JoinedAll, Collisions: res.Channel.Collisions,
 		Faults: res.Faults, Metrics: res.Metrics,
-		TimeToFirstDeath: res.TimeToFirstDeath, NetworkLifetime: res.NetworkLifetime}
+		TimeToFirstDeath: res.TimeToFirstDeath, NetworkLifetime: res.NetworkLifetime,
+		Audit: res.Audit}
 	out.BS.Beacons = res.BSStats.BeaconsSent
 	out.BS.Data = res.BSStats.DataReceived
 	out.BS.Reclaimed = res.BSStats.SlotsReclaimed

@@ -1,0 +1,79 @@
+// Command soak is the chaos harness: it generates seeded randomized
+// scenarios, runs each with every runtime invariant audited on both
+// kernel schedulers plus the wheel-vs-heap differential oracle, and on
+// failure shrinks the scenario to a minimal reproducer written out as a
+// scenario JSON file.
+//
+//	go run ./cmd/soak -seeds 64            # the CI corpus
+//	go run ./cmd/soak -start 1000 -seeds 256 -budget 2m
+//
+// The exit status is 0 when every seed passes and 1 otherwise, so the
+// Makefile can gate CI on it. Each failure line carries the seed; the
+// same binary with -start <seed> -seeds 1 replays it exactly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/soak"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 64, "number of consecutive seeds to run")
+	start := flag.Int64("start", 1, "first seed of the range")
+	budget := flag.Duration("budget", 0, "soft wall-clock cap; 0 means unlimited")
+	out := flag.String("out", ".", "directory for shrunk reproducer scenarios")
+	quiet := flag.Bool("q", false, "suppress the per-run progress line")
+	flag.Parse()
+
+	begin := time.Now()
+	ran, failures := 0, 0
+	for i := 0; i < *seeds; i++ {
+		if *budget > 0 && time.Since(begin) > *budget {
+			fmt.Fprintf(os.Stderr, "soak: budget %v exhausted after %d/%d seeds\n",
+				*budget, ran, *seeds)
+			break
+		}
+		seed := *start + int64(i)
+		cfg := soak.Generate(seed)
+		f := soak.Evaluate(cfg)
+		ran++
+		if f == nil {
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "soak: seed %d ok\n", seed)
+			}
+			continue
+		}
+		failures++
+		fmt.Fprintf(os.Stderr, "soak: seed %d FAILED: %s\n", seed, f)
+		min := soak.Shrink(cfg, soak.Evaluate, f)
+		path, err := writeRepro(*out, seed, min)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "soak: seed %d: writing reproducer: %v\n", seed, err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "soak: seed %d: minimal reproducer written to %s\n", seed, path)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "soak: %d/%d seeds failed in %v\n",
+			failures, ran, time.Since(begin).Round(time.Millisecond))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "soak: %d seeds clean in %v\n",
+		ran, time.Since(begin).Round(time.Millisecond))
+}
+
+// writeRepro serializes the shrunk config as a scenario JSON file that
+// bansim -config and the differential suite can consume directly.
+func writeRepro(dir string, seed int64, cfg core.Config) (string, error) {
+	data, err := core.ConfigToJSON(cfg)
+	if err != nil {
+		return "", err
+	}
+	path := fmt.Sprintf("%s/soak_repro_%d.json", dir, seed)
+	return path, os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,115 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestSweepCadenceAndFinish drives a kernel with one always-clean and
+// one final-only invariant and checks the sweep accounting: periodic
+// ticks exclude the final-only law, Finish includes it exactly once.
+func TestSweepCadenceAndFinish(t *testing.T) {
+	k := sim.NewKernel(1)
+	e := New(k, Config{Every: 100 * sim.Millisecond})
+	periodic, final := 0, 0
+	e.Register("clean", "unit", func(now sim.Time) []string {
+		periodic++
+		return nil
+	})
+	e.RegisterFinal("final", "unit", func(now sim.Time) []string {
+		final++
+		return nil
+	})
+	e.Start()
+	k.RunUntil(sim.Second)
+	sum := e.Finish(k.Now())
+
+	if periodic != 11 { // 10 ticks plus the Finish sweep
+		t.Fatalf("periodic invariant ran %d times, want 11", periodic)
+	}
+	if final != 1 {
+		t.Fatalf("final-only invariant ran %d times, want 1", final)
+	}
+	if sum.Checks != 12 {
+		t.Fatalf("Checks = %d, want 12", sum.Checks)
+	}
+	if sum.Failed() {
+		t.Fatalf("clean run reported failure: %+v", sum)
+	}
+}
+
+// TestViolationRecordingAndLimit trips an invariant on every sweep and
+// checks the rows carry instant/name/subject/detail, in order, with the
+// overflow counted rather than recorded.
+func TestViolationRecordingAndLimit(t *testing.T) {
+	k := sim.NewKernel(1)
+	e := New(k, Config{Every: 50 * sim.Millisecond, Limit: 3})
+	e.Register("always-broken", "node1", func(now sim.Time) []string {
+		return []string{"law violated"}
+	})
+	e.Start()
+	k.RunUntil(sim.Second)
+	sum := e.Finish(k.Now())
+
+	if !sum.Failed() {
+		t.Fatal("broken invariant not reported")
+	}
+	if len(sum.Violations) != 3 {
+		t.Fatalf("recorded %d violations, want the limit 3", len(sum.Violations))
+	}
+	if sum.Dropped == 0 {
+		t.Fatal("overflow not counted in Dropped")
+	}
+	v := sum.Violations[0]
+	if v.Invariant != "always-broken" || v.Subject != "node1" || v.Detail != "law violated" {
+		t.Fatalf("bad violation row: %+v", v)
+	}
+	if v.At != 50*sim.Millisecond {
+		t.Fatalf("first violation at %v, want the first tick at 50ms", v.At)
+	}
+	if !strings.Contains(v.String(), "always-broken[node1]") {
+		t.Fatalf("String() = %q", v.String())
+	}
+}
+
+// TestDefaultsApplied checks New normalises the zero config.
+func TestDefaultsApplied(t *testing.T) {
+	e := New(sim.NewKernel(1), Config{})
+	if e.cfg.Every != DefaultEvery || e.cfg.Limit != DefaultLimit {
+		t.Fatalf("defaults not applied: %+v", e.cfg)
+	}
+}
+
+// TestTimeMonotonic checks the kernel-clock law via its closure.
+func TestTimeMonotonic(t *testing.T) {
+	k := sim.NewKernel(1)
+	chk := TimeMonotonic(k)
+	if v := chk(0); len(v) != 0 {
+		t.Fatalf("fresh kernel violates monotonicity: %v", v)
+	}
+	k.RunUntil(sim.Second)
+	if v := chk(k.Now()); len(v) != 0 {
+		t.Fatalf("advancing clock flagged: %v", v)
+	}
+}
+
+// TestMonotonicCounter checks the generic monotone-counter law fires on
+// a regression and stays quiet on growth.
+func TestMonotonicCounter(t *testing.T) {
+	val := uint64(3)
+	chk := Monotonic("generation", func() uint64 { return val })
+	if v := chk(0); len(v) != 0 {
+		t.Fatalf("first sample flagged: %v", v)
+	}
+	val = 7
+	if v := chk(0); len(v) != 0 {
+		t.Fatalf("growth flagged: %v", v)
+	}
+	val = 2
+	v := chk(0)
+	if len(v) != 1 || !strings.Contains(v[0], "generation went backwards") {
+		t.Fatalf("regression not flagged: %v", v)
+	}
+}

@@ -232,6 +232,10 @@ type State struct {
 
 	drawnJ      float64
 	lastLedgerJ float64
+	// resetDrawnJ is the drawnJ reading at the last ledger reset, so the
+	// conservation audit can compare this epoch's draw against the
+	// ledger's cumulative total.
+	resetDrawnJ float64
 	level       Level
 	levelSince  sim.Time
 	timeIn      [NumLevels]sim.Time
@@ -313,7 +317,40 @@ func (s *State) DiedAt() sim.Time { return s.diedAt }
 // NoteLedgerReset tells the state its ledger's cumulative total was
 // zeroed (the warmup-end accounting reset), so the next Debit diffs
 // against zero instead of double-charging or missing draw.
-func (s *State) NoteLedgerReset() { s.lastLedgerJ = 0 }
+func (s *State) NoteLedgerReset() {
+	s.lastLedgerJ = 0
+	s.resetDrawnJ = s.drawnJ
+}
+
+// auditRelTol is the relative tolerance for the energy-conservation
+// audit. The debit path telescopes ledger readings, so the books agree
+// to floating-point rounding; anything past 1e-9 relative is a lost or
+// double-counted debit, not noise.
+const auditRelTol = 1e-9
+
+// AuditConservation checks the battery's books against the ledger it is
+// debited from, returning a detail string per broken law (nil when
+// consistent). ledgerJ is the ledger's current cumulative total, flushed
+// to the audit instant. The laws: the draw accumulated since the last
+// ledger reset equals the last ledger reading the battery consumed
+// (the telescoping Debit sequence loses nothing), and the battery never
+// debits more than the ledger metered. Both hold for dead cells too —
+// death freezes drawnJ and lastLedgerJ together.
+func (s *State) AuditConservation(ledgerJ float64) []string {
+	var v []string
+	epochDrawn := s.drawnJ - s.resetDrawnJ
+	if !approx.EqRel(epochDrawn, s.lastLedgerJ, auditRelTol) {
+		v = append(v, fmt.Sprintf(
+			"battery drew %.12g J this epoch but consumed ledger readings totalling %.12g J",
+			epochDrawn, s.lastLedgerJ))
+	}
+	if s.lastLedgerJ > ledgerJ && !approx.EqRel(s.lastLedgerJ, ledgerJ, auditRelTol) {
+		v = append(v, fmt.Sprintf(
+			"battery debited from a ledger reading of %.12g J but the ledger only metered %.12g J",
+			s.lastLedgerJ, ledgerJ))
+	}
+	return v
+}
 
 // Debit charges the battery with the ledger's growth since the last
 // call (ledgerJ is the ledger's cumulative total), advances the

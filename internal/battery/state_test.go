@@ -247,3 +247,52 @@ func TestVoltageBrownoutBeforeEmpty(t *testing.T) {
 		t.Fatalf("voltage brownout should strand charge, SOC = %v", s.SOC())
 	}
 }
+
+// TestAuditConservation drives a debit sequence across a ledger reset
+// and a brownout, checking the conservation audit stays quiet, then
+// cooks each side of the books and checks the imbalance is named.
+func TestAuditConservation(t *testing.T) {
+	s := NewState(testCell(), 0, nil, 0)
+	s.Debit(sim.Second, 0.5)
+	s.Debit(2*sim.Second, 0.9)
+	if v := s.AuditConservation(0.9); len(v) != 0 {
+		t.Fatalf("balanced books flagged: %v", v)
+	}
+	// Ledger grew since the last debit: still consistent.
+	if v := s.AuditConservation(1.1); len(v) != 0 {
+		t.Fatalf("ledger ahead of battery flagged: %v", v)
+	}
+
+	// Warmup-end reset: the epoch baseline moves with the ledger zero.
+	s.NoteLedgerReset()
+	if v := s.AuditConservation(0); len(v) != 0 {
+		t.Fatalf("post-reset books flagged: %v", v)
+	}
+	s.Debit(3*sim.Second, 0.4)
+	if v := s.AuditConservation(0.4); len(v) != 0 {
+		t.Fatalf("post-reset debit flagged: %v", v)
+	}
+
+	// A tampered coulomb counter breaks the epoch law.
+	s.drawnJ += 0.25
+	v := s.AuditConservation(0.4)
+	if len(v) != 1 || !strings.Contains(v[0], "this epoch") {
+		t.Fatalf("lost debit not flagged: %v", v)
+	}
+	s.drawnJ -= 0.25
+
+	// A ledger total below the battery's last reading means an over-debit.
+	v = s.AuditConservation(0.1)
+	if len(v) != 1 || !strings.Contains(v[0], "only metered") {
+		t.Fatalf("over-debit not flagged: %v", v)
+	}
+
+	// Death freezes both sides of the books together.
+	s.Debit(4*sim.Second, 10) // drains the 3.6 J cell
+	if !s.Dead() {
+		t.Fatal("cell survived a 10 J debit")
+	}
+	if v := s.AuditConservation(10); len(v) != 0 {
+		t.Fatalf("dead cell's books flagged: %v", v)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/app"
 	"repro/internal/approx"
+	"repro/internal/audit"
 	"repro/internal/battery"
 	"repro/internal/body"
 	"repro/internal/channel"
@@ -141,6 +142,16 @@ type Config struct {
 	// (at, seq) order, so results are bit-equal; the heap exists for
 	// differential validation, not for production runs.
 	Scheduler string
+	// Audit, when non-nil, enables the runtime invariant-audit engine:
+	// conservation and protocol laws registered by every component
+	// (energy/battery books, frame conservation, slot exclusivity, clock
+	// and generation monotonicity, event-pool balance) are swept on the
+	// configured in-simulation cadence and once more at run end, with
+	// violations reported as structured rows in Results.Audit. Audits
+	// observe only: a run produces byte-identical results with auditing
+	// on or off, apart from Results.Audit itself and the KernelEvents
+	// count (the sweep ticks are kernel events).
+	Audit *audit.Config
 }
 
 // Scheduler values accepted by Config.Scheduler.
@@ -281,6 +292,14 @@ func (c *Config) Validate() error {
 			c.Degrade = &p
 		}
 	}
+	if a := c.Audit; a != nil {
+		if a.Every < 0 {
+			return fmt.Errorf("core: negative audit check interval %v", a.Every)
+		}
+		if a.Limit < 0 {
+			return fmt.Errorf("core: negative audit violation limit %d", a.Limit)
+		}
+	}
 	// The fault schedule is checked against the full simulated span, so
 	// the defaults above (Warmup in particular) must already be applied.
 	if err := fault.ValidateSchedule(c.Faults, c.Nodes, c.Warmup+c.Duration); err != nil {
@@ -364,6 +383,9 @@ type Results struct {
 	// nodes alive — the standard WSN lifetime criterion; 0 when at least
 	// half the nodes outlived the run.
 	NetworkLifetime sim.Time
+	// Audit is the invariant-audit summary (nil unless Config.Audit is
+	// set). A run whose laws all held has Audit.Failed() == false.
+	Audit *audit.Summary
 }
 
 // Node returns the result for the paper's reference node (ID 1).
@@ -508,6 +530,17 @@ func Run(cfg Config) (Results, error) {
 		inj.Install(cfg.Faults)
 	}
 
+	// The audit engine observes the assembled network; its sweep ticks
+	// are ordinary kernel events, and every registered law holds at any
+	// event boundary, so the tick's position among same-instant events
+	// does not matter.
+	var eng *audit.Engine
+	if cfg.Audit != nil {
+		eng = audit.New(k, *cfg.Audit)
+		registerAudits(eng, k, base, sensors)
+		eng.Start()
+	}
+
 	// Power-on: the base station first, then the nodes staggered a few
 	// milliseconds apart (same power strip, slightly different boot
 	// times) so their first SSRs rarely collide.
@@ -604,6 +637,9 @@ func Run(cfg Config) (Results, error) {
 		}
 	}
 	res.KernelEvents = k.Executed()
+	if eng != nil {
+		res.Audit = eng.Finish(k.Now())
+	}
 	if cfg.Metrics {
 		res.Metrics = assembleMetrics(&res)
 	}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"repro/internal/audit"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// registerAudits wires every component's invariants into the audit
+// engine. Each check is a pure observer: it may flush an energy ledger
+// (closing open intervals is idempotent accounting) but never touches
+// the kernel's random stream or schedules events, so a run with audits
+// on reproduces the run with audits off byte for byte.
+//
+// The registered laws, per ROADMAP item and DESIGN §13:
+//
+//   - time-monotonic: the kernel clock never runs backwards.
+//   - event-pool (final only): the wheel's slot pool balances — every
+//     allocated slot is recycled or live; checked once at run end so a
+//     leak anywhere in the run is caught after the queue drains.
+//   - slot-table: the base station's node↔slot maps stay inverse
+//     bijections, in range, dense (dynamic), and grant-consistent.
+//   - frame-conservation: per node, the MAC's counters balance —
+//     every missed ack became a retry or drop, every transmitted frame
+//     is acked, timed out, abandoned or (at most one) pending.
+//   - slot-containment: a joined node's grant window fits inside the
+//     cycle it learned from its reference beacon.
+//   - generation-monotonic: the crash generation counter never
+//     regresses, across any number of crash/reboot cycles.
+//   - battery-conservation: the coulomb counter's epoch draw equals
+//     the ledger readings it consumed, and never exceeds what the
+//     ledger metered (within approx tolerance).
+//   - battery-dead-sticky / battery-level-monotonic: a browned-out
+//     cell stays dead, and the degradation ladder is only descended.
+func registerAudits(eng *audit.Engine, k *sim.Kernel, base *node.Base, sensors []*node.Sensor) {
+	eng.Register("time-monotonic", "kernel", audit.TimeMonotonic(k))
+	eng.RegisterFinal("event-pool", "kernel", func(sim.Time) []string {
+		return k.AuditPool()
+	})
+	eng.Register("slot-table", "bs", func(sim.Time) []string {
+		return base.BS.AuditSlotTable()
+	})
+	for _, s := range sensors {
+		s := s
+		eng.Register("frame-conservation", s.Name, func(sim.Time) []string {
+			return s.Mac.AuditFrame()
+		})
+		eng.Register("slot-containment", s.Name, func(sim.Time) []string {
+			return s.Mac.AuditSlot()
+		})
+		eng.Register("generation-monotonic", s.Name,
+			audit.Monotonic("crash generation", s.Mac.Generation))
+		if s.Bat == nil {
+			continue
+		}
+		eng.Register("battery-conservation", s.Name, func(now sim.Time) []string {
+			s.Ledger.Flush(now)
+			return s.Bat.AuditConservation(s.Ledger.TotalJ())
+		})
+		eng.Register("battery-dead-sticky", s.Name,
+			audit.Monotonic("dead flag", func() uint64 {
+				if s.Bat.Dead() {
+					return 1
+				}
+				return 0
+			}))
+		eng.Register("battery-level-monotonic", s.Name,
+			audit.Monotonic("degradation level", func() uint64 {
+				return uint64(s.Bat.Level())
+			}))
+	}
+}

@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/sim"
 )
 
 // TestSchedulerDifferentialScenarios runs every committed scenario on
@@ -36,6 +39,12 @@ func TestSchedulerDifferentialScenarios(t *testing.T) {
 				t.Fatal(err)
 			}
 			cfg.Metrics = true // widen the compared surface
+			// Every committed scenario must also audit clean on both
+			// schedulers; a violation shows up as an Audit diff or a
+			// non-empty summary in the DeepEqual below.
+			if cfg.Audit == nil {
+				cfg.Audit = &audit.Config{Every: 100 * sim.Millisecond}
+			}
 
 			run := func(sched string) Results {
 				c := cfg
@@ -51,6 +60,11 @@ func TestSchedulerDifferentialScenarios(t *testing.T) {
 			}
 			wheel := run(SchedulerWheel)
 			heap := run(SchedulerHeap)
+
+			if wheel.Audit.Failed() || heap.Audit.Failed() {
+				t.Fatalf("invariants violated:\nwheel: %v\nheap:  %v",
+					wheel.Audit.Violations, heap.Audit.Violations)
+			}
 
 			// Compare the recorders first with a targeted diff (the
 			// pointers themselves always differ).

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/battery"
 	"repro/internal/channel"
 	"repro/internal/fault"
@@ -35,6 +36,17 @@ type scenarioJSON struct {
 	BrownoutV    float64                `json:"brownoutV,omitempty"`     // supply cutoff (0 = cell default)
 	Degrade      *battery.DegradePolicy `json:"degradePolicy,omitempty"` // low-battery watermarks
 	Scheduler    string                 `json:"scheduler,omitempty"`     // "wheel" (default) | "heap"
+	Audit        *auditJSON             `json:"audit,omitempty"`         // runtime invariant audits
+}
+
+// auditJSON enables the runtime invariant-audit engine for a scenario.
+type auditJSON struct {
+	// CheckInterval is the in-simulation sweep cadence as a duration
+	// string; omitted selects the engine default. Must be positive when
+	// present — a zero or negative cadence would stall the sweep loop.
+	CheckInterval *sim.Time `json:"checkInterval,omitempty"`
+	// Limit caps recorded violation rows (0 = engine default).
+	Limit int `json:"limit,omitempty"`
 }
 
 // batteryJSON names a cell either by preset ("cr2032" | "lipo160") or by
@@ -116,6 +128,16 @@ func ConfigFromJSON(data []byte) (Config, error) {
 	}
 	cfg.BrownoutV = s.BrownoutV
 	cfg.Degrade = s.Degrade
+	if s.Audit != nil {
+		ac := audit.Config{Limit: s.Audit.Limit}
+		if iv := s.Audit.CheckInterval; iv != nil {
+			if *iv <= 0 {
+				return Config{}, fmt.Errorf("core: audit checkInterval %v must be positive", *iv)
+			}
+			ac.Every = *iv
+		}
+		cfg.Audit = &ac
+	}
 	switch s.Mac {
 	case "static", "":
 		cfg.Variant = mac.Static
@@ -150,6 +172,14 @@ func ConfigToJSON(cfg Config) ([]byte, error) {
 		BrownoutV:    cfg.BrownoutV,
 		Degrade:      cfg.Degrade,
 		Scheduler:    cfg.Scheduler,
+	}
+	if a := cfg.Audit; a != nil {
+		aj := &auditJSON{Limit: a.Limit}
+		if a.Every > 0 {
+			iv := a.Every
+			aj.CheckInterval = &iv
+		}
+		s.Audit = aj
 	}
 	if b := cfg.Battery; b != nil {
 		// Emit the resolved rating only: presets and scale factors are

@@ -59,6 +59,14 @@ func FuzzLoadScenario(f *testing.F) {
 	f.Add([]byte(`{"degradePolicy":{"stretchSOC":0.1,"downshiftSOC":0.2}}`))
 	f.Add([]byte(`{"battery":{"cell":"lipo160","capacityScale":-1},"degradePolicy":{"stretchEvery":1}}`))
 	f.Add([]byte(`{"faults":[{"kind":"brownout","node":1,"at":"1s"}]}`))
+	// Audit block: defaulted, explicit, and cadences the loader must
+	// reject (zero or negative would stall the sweep loop).
+	f.Add([]byte(`{"nodes":1,"duration":"5s","audit":{}}`))
+	f.Add([]byte(`{"nodes":1,"duration":"5s","audit":{"checkInterval":"100ms","limit":50}}`))
+	f.Add([]byte(`{"audit":{"checkInterval":"0s"}}`))
+	f.Add([]byte(`{"audit":{"checkInterval":"-250ms"}}`))
+	f.Add([]byte(`{"audit":{"checkInterval":"fast"}}`))
+	f.Add([]byte(`{"audit":{"limit":-1}}`))
 	// Observability fields: the metrics switch and trace ring cap.
 	f.Add([]byte(`{"nodes":2,"duration":"5s","metrics":true,"traceLimit":100}`))
 	f.Add([]byte(`{"metrics":false,"traceLimit":-1}`))

@@ -1,6 +1,7 @@
 package mac
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/energy"
@@ -167,6 +168,65 @@ func (bs *BS) Nodes() []uint8 {
 		out = append(out, bs.slotNode[s])
 	}
 	return out
+}
+
+// AuditSlotTable checks the slot-assignment invariants and returns a
+// detail string per broken law (nil when the table is consistent): the
+// node→slot and slot→node maps are inverse bijections, every slot index
+// is in range, a dynamic table with no compaction pending is dense (the
+// cycle only covers indices 0..n-1), and every advertised static grant
+// matches the table. A violation means a join, release or reclaim path
+// granted the same slot twice or left the maps out of step.
+func (bs *BS) AuditSlotTable() []string {
+	var v []string
+	if len(bs.nodeSlot) != len(bs.slotNode) {
+		v = append(v, fmt.Sprintf("slot maps out of step: %d nodes, %d slots",
+			len(bs.nodeSlot), len(bs.slotNode)))
+	}
+	ids := make([]uint8, 0, len(bs.nodeSlot))
+	for id := range bs.nodeSlot {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		slot := bs.nodeSlot[id]
+		if slot < 0 || slot >= bs.maxSlots {
+			v = append(v, fmt.Sprintf("node %d holds out-of-range slot %d (max %d)",
+				id, slot, bs.maxSlots))
+			continue
+		}
+		if holder, ok := bs.slotNode[slot]; !ok || holder != id {
+			v = append(v, fmt.Sprintf("slot %d granted to node %d but the slot map names node %d",
+				slot, id, holder))
+		}
+	}
+	slots := make([]int, 0, len(bs.slotNode))
+	for s := range bs.slotNode {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	for _, s := range slots {
+		id := bs.slotNode[s]
+		if back, ok := bs.nodeSlot[id]; !ok || back != s {
+			v = append(v, fmt.Sprintf("slot %d names node %d but the node map points at slot %d",
+				s, id, back))
+		}
+		if bs.cfg.Variant == Dynamic && !bs.needCompact && s >= len(bs.slotNode) {
+			v = append(v, fmt.Sprintf("dynamic slot %d outside the dense range 0..%d",
+				s, len(bs.slotNode)-1))
+		}
+	}
+	for _, g := range bs.grants {
+		if int(g.entry.Slot) >= bs.maxSlots {
+			v = append(v, fmt.Sprintf("grant advertises out-of-range slot %d for node %d",
+				g.entry.Slot, g.entry.NodeID))
+		}
+		if slot, ok := bs.nodeSlot[g.entry.NodeID]; !ok || slot != int(g.entry.Slot) {
+			v = append(v, fmt.Sprintf("grant advertises slot %d for node %d but the table says %d",
+				g.entry.Slot, g.entry.NodeID, slot))
+		}
+	}
+	return v
 }
 
 // ResetAccounting zeroes statistics and the received-frame log.

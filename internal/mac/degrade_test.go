@@ -33,16 +33,10 @@ func TestFrameConservation(t *testing.T) {
 	if st.DataDropped == 0 {
 		t.Fatalf("no frame exhausted its retries at BER 2e-3: %+v", st)
 	}
-	// Every missed acknowledgement becomes a retry or a terminal drop.
-	if st.AckMissed != st.Retries+st.DataDropped {
-		t.Fatalf("AckMissed (%d) != Retries (%d) + DataDropped (%d)",
-			st.AckMissed, st.Retries, st.DataDropped)
-	}
-	// Every transmission is resolved, bar at most one frame in flight.
-	inFlight := st.DataSent - st.DataAcked - st.AckMissed
-	if inFlight != 0 && inFlight != 1 {
-		t.Fatalf("sent=%d acked=%d missed=%d: %d frames unaccounted for",
-			st.DataSent, st.DataAcked, st.AckMissed, inFlight)
+	// The laws themselves live in AuditFrameStats; this test keeps the
+	// lossy-channel scenario that exercises every branch of the ledger.
+	if v := n1.AuditFrame(); len(v) != 0 {
+		t.Fatalf("frame conservation violated: %v (stats %+v)", v, st)
 	}
 }
 

@@ -67,13 +67,24 @@ type Stats struct {
 	AckMissed     uint64
 	Retries       uint64
 	// DataDropped counts frames discarded after MaxRetries retransmission
-	// attempts all went unacknowledged. The MAC conservation law is
-	// DataSent = DataAcked + DataDropped + Retries + (0 or 1 in flight):
-	// every transmitted burst either was acked, was a retry of an earlier
-	// burst, ended the frame's life, or is still awaiting its ack.
+	// attempts all went unacknowledged.
 	DataDropped uint64
-	QueueDrops  uint64
-	Rejoins     uint64
+	// Abandoned counts transmitted frames whose acknowledgement window
+	// was torn down before it resolved — a rejoin, park or crash
+	// discarded the in-flight frame while its ack was still pending.
+	//
+	// Together these counters obey the frame-conservation laws checked
+	// by AuditFrameStats at any instant:
+	//
+	//	AckMissed == Retries + DataDropped
+	//	DataSent  == DataAcked + AckMissed + Abandoned + (0 or 1 pending)
+	//
+	// every transmitted burst either was acked, timed out (becoming a
+	// retry or ending the frame's life), was abandoned by a state reset,
+	// or is still awaiting its ack.
+	Abandoned  uint64
+	QueueDrops uint64
+	Rejoins    uint64
 	// SlotsSkipped counts data slots slept through by the duty-cycle
 	// stretch rung of the battery degradation ladder.
 	SlotsSkipped uint64

@@ -104,6 +104,12 @@ type NodeMac struct {
 	releasePending bool   // the voluntary slot release still has to fly
 
 	stats Stats
+	// carrySent credits a frame transmitted before the last accounting
+	// reset whose ack was still pending when the counters zeroed: its
+	// eventual resolution (ack, timeout, abandon) increments a counter
+	// with no matching DataSent, and the frame-conservation audit must
+	// balance that epoch straddle.
+	carrySent uint64
 	// Accounting for the paper's loss categories.
 	controlRxTime sim.Time
 	controlTxTime sim.Time
@@ -184,6 +190,11 @@ func (m *NodeMac) JoinIdleTime() sim.Time { return m.joinIdleTime }
 // ResetAccounting zeroes statistics and loss accumulators (post-warmup).
 func (m *NodeMac) ResetAccounting() {
 	m.stats = Stats{}
+	m.carrySent = 0
+	if m.ackWaiting {
+		// A frame sent in the old epoch resolves in the new one.
+		m.carrySent = 1
+	}
 	m.controlRxTime = 0
 	m.controlTxTime = 0
 	m.joinIdleTime = 0
@@ -222,10 +233,7 @@ func (m *NodeMac) Crash() {
 		m.k.Cancel(m.windowTimeout)
 		m.windowActive = false
 	}
-	if m.ackWaiting {
-		m.k.Cancel(m.ackTimeout)
-		m.ackWaiting = false
-	}
+	m.closeAckWindow()
 	m.noteLeftSlot()
 	m.state = stateCrashed
 	m.slot = -1
@@ -283,10 +291,27 @@ func (m *NodeMac) EnterBeaconOnly() {
 // margins at crystal tolerances.
 const parkBeaconEvery = 8
 
+// closeAckWindow tears down a pending acknowledgement wait when the
+// protocol state that owned it is being reset (crash, rejoin, park).
+// The transmitted frame can no longer be resolved — its ack would be
+// ignored and its timeout must not fire against the fresh state — so it
+// is counted as abandoned, keeping the frame-conservation law exact:
+// without this, a stale ackTimeout would increment AckMissed with no
+// in-flight frame to retry or drop.
+func (m *NodeMac) closeAckWindow() {
+	if !m.ackWaiting {
+		return
+	}
+	m.ackWaiting = false
+	m.k.Cancel(m.ackTimeout)
+	m.stats.Abandoned++
+}
+
 // park settles into beacon-only mode: no slot, no data path, but beacon
 // windows stay armed so the node keeps network time (and stays visible
 // to the operator through beacon-rx events).
 func (m *NodeMac) park() {
+	m.closeAckWindow()
 	m.noteLeftSlot()
 	m.state = stateParked
 	m.slot = -1
@@ -564,6 +589,7 @@ func (m *NodeMac) onWindowTimeout() {
 // rejoin abandons the slot and restarts the join procedure.
 func (m *NodeMac) rejoin() {
 	m.stats.Rejoins++
+	m.closeAckWindow()
 	m.noteLeftSlot()
 	if !m.rejoinArmed {
 		m.rejoinArmed = true
@@ -876,6 +902,72 @@ func (m *NodeMac) accountControlRx(d sim.Time) {
 	}
 	m.controlRxTime += d
 	m.ledger.AttributeLoss(energy.LossControl, m.radio.RxPowerW()*d.Seconds())
+}
+
+// --- runtime audit accessors ---------------------------------------------
+
+// Generation reports the crash generation counter. It only ever grows
+// (each crash bumps it to invalidate stale kernel events), which the
+// audit engine checks across crash/reboot cycles.
+func (m *NodeMac) Generation() uint64 { return m.gen }
+
+// AckPending reports whether a transmitted data frame is still awaiting
+// its acknowledgement.
+func (m *NodeMac) AckPending() bool { return m.ackWaiting }
+
+// AuditFrame checks the frame-conservation laws against the node's live
+// counters and returns a detail string per broken law (nil when they
+// hold). Safe to call at any instant: the counters and the ack window
+// are updated atomically within each kernel event.
+func (m *NodeMac) AuditFrame() []string {
+	return AuditFrameStats(m.stats, m.carrySent, m.ackWaiting)
+}
+
+// AuditFrameStats is the pure form of the frame-conservation laws, over
+// a counter snapshot: every missed ack became a retry or a terminal
+// drop, and every transmitted burst is resolved (acked, timed out or
+// abandoned) except at most one awaiting its ack. carrySent credits a
+// frame sent before the last accounting reset whose resolution lands in
+// the current epoch (see NodeMac.ResetAccounting).
+func AuditFrameStats(s Stats, carrySent uint64, ackPending bool) []string {
+	var v []string
+	if s.AckMissed != s.Retries+s.DataDropped {
+		v = append(v, fmt.Sprintf("AckMissed %d != Retries %d + DataDropped %d",
+			s.AckMissed, s.Retries, s.DataDropped))
+	}
+	pending := uint64(0)
+	if ackPending {
+		pending = 1
+	}
+	if s.DataSent+carrySent != s.DataAcked+s.AckMissed+s.Abandoned+pending {
+		v = append(v, fmt.Sprintf(
+			"DataSent %d + carried %d != DataAcked %d + AckMissed %d + Abandoned %d + pending %d",
+			s.DataSent, carrySent, s.DataAcked, s.AckMissed, s.Abandoned, pending))
+	}
+	return v
+}
+
+// AuditSlot checks grant-window containment from the node's own view: a
+// joined node's data slot, as timed against the cycle length it learned
+// from its reference beacon, must end inside that cycle. Slot index and
+// cycle always come from the same beacon (dead reckoning keeps both),
+// so the law holds through compactions the node has not yet heard; a
+// violation means the base station granted a slot outside the frame it
+// advertised.
+func (m *NodeMac) AuditSlot() []string {
+	if m.state != stateJoined || m.cycle <= 0 {
+		return nil
+	}
+	var v []string
+	if m.slot < 0 {
+		v = append(v, fmt.Sprintf("joined with invalid slot %d", m.slot))
+		return v
+	}
+	if end := m.slotStart(m.slot) + m.slotDuration(); end > m.cycle {
+		v = append(v, fmt.Sprintf("slot %d window ends at %v, past the %v cycle",
+			m.slot, end, m.cycle))
+	}
+	return v
 }
 
 var _ Mac = (*NodeMac)(nil)

@@ -1,0 +1,32 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/audit"
+)
+
+// RenderAudit formats the invariant-audit summary: one line for a clean
+// run, or the violation rows when any law broke. It returns "" when
+// auditing was not enabled, so callers can print it unconditionally.
+func RenderAudit(sum *audit.Summary) string {
+	if sum == nil {
+		return ""
+	}
+	var b strings.Builder
+	if !sum.Failed() {
+		fmt.Fprintf(&b, "Invariant audits: %d checks, all laws held\n", sum.Checks)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "Invariant audits: %d checks, %d violation(s)",
+		sum.Checks, len(sum.Violations))
+	if sum.Dropped > 0 {
+		fmt.Fprintf(&b, " (+%d beyond the recording limit)", sum.Dropped)
+	}
+	b.WriteString(":\n")
+	for _, v := range sum.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	return b.String()
+}

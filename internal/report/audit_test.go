@@ -1,0 +1,34 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/sim"
+)
+
+func TestRenderAudit(t *testing.T) {
+	if got := RenderAudit(nil); got != "" {
+		t.Fatalf("nil summary rendered %q", got)
+	}
+	clean := &audit.Summary{Checks: 42}
+	if got := RenderAudit(clean); !strings.Contains(got, "42 checks") ||
+		!strings.Contains(got, "all laws held") {
+		t.Fatalf("clean summary rendered %q", got)
+	}
+	broken := &audit.Summary{
+		Checks: 10,
+		Violations: []audit.Violation{{
+			At: 250 * sim.Millisecond, Invariant: "frame-conservation",
+			Subject: "node2", Detail: "AckMissed 3 != Retries 1 + DataDropped 1",
+		}},
+		Dropped: 5,
+	}
+	got := RenderAudit(broken)
+	for _, want := range []string{"1 violation(s)", "+5 beyond", "frame-conservation[node2]", "t=250ms"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("rendered summary missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAuditPoolClean runs a schedule/cancel workload and checks the
+// pool audit stays quiet mid-run and after the drain.
+func TestAuditPoolClean(t *testing.T) {
+	k := NewKernel(7)
+	var mid []string
+	var id EventID
+	k.Schedule(Millisecond, func(kk *Kernel) {
+		id = kk.Schedule(5*Minute, func(*Kernel) {})
+		kk.Schedule(Millisecond, func(*Kernel) {})
+		mid = kk.AuditPool()
+	})
+	k.Run()
+	if len(mid) != 0 {
+		t.Fatalf("mid-run pool audit fired: %v", mid)
+	}
+	k.Cancel(id)
+	if v := k.AuditPool(); len(v) != 0 {
+		t.Fatalf("post-drain pool audit fired: %v", v)
+	}
+}
+
+// TestAuditPoolTrip corrupts the pool counters directly — the deliberate
+// violation the audit must catch — and checks each imbalance is named.
+func TestAuditPoolTrip(t *testing.T) {
+	k := NewKernel(7)
+	k.Schedule(Millisecond, func(*Kernel) {})
+	k.Run()
+
+	k.wheel.recycd++ // a double recycle the loc guard missed
+	v := k.AuditPool()
+	if len(v) == 0 {
+		t.Fatal("recycle imbalance not detected")
+	}
+	if !strings.Contains(strings.Join(v, "; "), "recycled") {
+		t.Fatalf("imbalance detail missing: %v", v)
+	}
+	k.wheel.recycd--
+
+	k.wheel.live++ // a lost event: live count drifts from the pool
+	v = k.AuditPool()
+	if len(v) == 0 {
+		t.Fatal("live-count imbalance not detected")
+	}
+	if !strings.Contains(strings.Join(v, "; "), "live events") {
+		t.Fatalf("live-count detail missing: %v", v)
+	}
+	k.wheel.live--
+
+	k.wheel.allocd++ // a leaked slot: allocated without recycle or use
+	if v := k.AuditPool(); len(v) == 0 {
+		t.Fatal("allocation leak not detected")
+	}
+	k.wheel.allocd--
+
+	if v := k.AuditPool(); len(v) != 0 {
+		t.Fatalf("restored pool still flagged: %v", v)
+	}
+}
+
+// TestAuditPoolHeapKernel checks the heap kernel — which has no pool —
+// audits clean by definition.
+func TestAuditPoolHeapKernel(t *testing.T) {
+	k := NewHeapKernel(7)
+	k.Schedule(Millisecond, func(*Kernel) {})
+	k.Run()
+	if v := k.AuditPool(); v != nil {
+		t.Fatalf("heap kernel pool audit = %v, want nil", v)
+	}
+}

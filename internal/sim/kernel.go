@@ -87,6 +87,32 @@ func (k *Kernel) PoolStats() PoolStats {
 	return k.wheel.stats()
 }
 
+// AuditPool cross-checks the wheel kernel's event-pool accounting and
+// returns a detail string per broken balance (nil when consistent, and
+// always nil for the heap kernel, which has no pool). The laws: every
+// allocated slot is either recycled or in use, and the in-use count
+// equals the live pending events — the pool recycles each slot before
+// its handler fires, so the balance holds even when called from inside
+// an event. A mismatch means a leak (a cancel or fire path lost a slot)
+// or a double recycle that slipped past the loc guard.
+func (k *Kernel) AuditPool() []string {
+	if k.legacy != nil {
+		return nil
+	}
+	var v []string
+	st := k.wheel.stats()
+	if st.Allocated < st.Recycled {
+		v = append(v, fmt.Sprintf("pool recycled %d slots but allocated only %d", st.Recycled, st.Allocated))
+	} else if leaked := st.Allocated - st.Recycled; leaked != uint64(st.InUse) {
+		v = append(v, fmt.Sprintf("pool leak: allocated %d - recycled %d = %d outstanding, but %d slots in use",
+			st.Allocated, st.Recycled, leaked, st.InUse))
+	}
+	if st.InUse != k.wheel.live {
+		v = append(v, fmt.Sprintf("pool holds %d slots for %d live events", st.InUse, k.wheel.live))
+	}
+	return v
+}
+
 // Rand returns the kernel's deterministic random source. All stochastic
 // model behaviour (bit errors, random SSR offsets, jitter) must draw from
 // this stream so that a (config, seed) pair fully determines a run.
