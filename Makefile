@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint banlint build test race cover bench bench-snapshot bench-check soak fuzz sweep-demo
+.PHONY: ci vet lint banlint build test race cover mactest bench bench-snapshot bench-check soak fuzz sweep-demo
 
-ci: vet lint banlint build test race cover bench-check soak
+ci: vet lint banlint build test race cover mactest bench-check soak
 
 vet:
 	$(GO) vet ./...
@@ -72,6 +72,14 @@ cover:
 			{ echo "cover: ./$$pkg fell below its $$floor% floor"; exit 1; }; \
 	done
 
+# The MAC conformance kit (DESIGN.md section 14): every registered
+# protocol must pass join convergence, the audit laws, fault resilience,
+# the degradation cascade, determinism and worker invariance, plus the
+# cross-protocol differential property. `make test` already includes it;
+# this target runs it alone, verbosely, for MAC work.
+mactest:
+	$(GO) test -v -run TestConformance ./internal/mac/mactest
+
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
@@ -84,7 +92,7 @@ bench:
 #
 #     make bench-snapshot          # the "-update" flow
 #
-BENCH_SNAPSHOT = BENCH_6.json
+BENCH_SNAPSHOT = BENCH_8.json
 
 bench-snapshot:
 	$(GO) run ./cmd/bench -out $(BENCH_SNAPSHOT)

@@ -152,7 +152,11 @@ func applyBatteryFlags(cfg *core.Config, spec string, brownoutV float64, degrade
 func main() {
 	var (
 		appName    = flag.String("app", "streaming", "application: streaming | rpeak | hrv | eeg")
-		macName    = flag.String("mac", "static", "MAC variant: static | dynamic")
+		macName    = flag.String("mac", "static", "MAC protocol: static | dynamic | csma | lpl")
+		minBE      = flag.Int("minbe", 0, "CSMA minimum backoff exponent (0 = protocol default)")
+		maxBE      = flag.Int("maxbe", 0, "CSMA maximum backoff exponent (0 = protocol default)")
+		maxBackoff = flag.Int("maxbackoffs", 0, "CSMA backoff attempts before a busy-channel drop (0 = protocol default)")
+		checkEvery = flag.Duration("check-interval", 0, "LPL wakeup interval (0 = protocol default)")
 		nodes      = flag.Int("nodes", 5, "number of sensor nodes")
 		cycle      = flag.Duration("cycle", 30*time.Millisecond, "static TDMA cycle length")
 		fs         = flag.Float64("fs", 205, "per-channel sampling frequency (Hz)")
@@ -204,14 +208,19 @@ func main() {
 		return
 	}
 
-	var variant mac.Variant
-	switch *macName {
-	case "static":
-		variant = mac.Static
-	case "dynamic":
-		variant = mac.Dynamic
-	default:
-		fatalf("unknown MAC %q (want static or dynamic)", *macName)
+	proto := mac.Protocol(*macName)
+	desc, ok := mac.Lookup(proto)
+	if !ok {
+		fatalf("unknown MAC %q (registered: %v)", *macName, mac.Protocols())
+	}
+	params := mac.Params{
+		MinBE:         *minBE,
+		MaxBE:         *maxBE,
+		MaxBackoffs:   *maxBackoff,
+		CheckInterval: sim.FromDuration(*checkEvery),
+	}
+	if err := desc.Validate(params); err != nil {
+		fatalf("%v", err)
 	}
 	var app core.AppKind
 	switch *appName {
@@ -228,7 +237,8 @@ func main() {
 	}
 
 	cfg := core.Config{
-		Variant:           variant,
+		Protocol:          proto,
+		MACParams:         params,
 		Nodes:             *nodes,
 		Cycle:             sim.FromDuration(*cycle),
 		App:               app,
@@ -332,8 +342,8 @@ func fatalf(format string, args ...any) {
 }
 
 func printText(res core.Results) {
-	fmt.Printf("BAN: %d node(s), %s TDMA, app=%s, window=%v (joined all: %v)\n\n",
-		res.Config.Nodes, res.Config.Variant, res.Config.App,
+	fmt.Printf("BAN: %d node(s), mac=%s, app=%s, window=%v (joined all: %v)\n\n",
+		res.Config.Nodes, res.Config.Protocol, res.Config.App,
 		res.Config.Duration, res.JoinedAll)
 	for _, n := range res.Nodes {
 		fmt.Printf("%s  (slot energy over %v)\n", n.Name, res.Config.Duration)

@@ -33,7 +33,12 @@ type Measurement struct {
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 }
 
-// Snapshot is the committed BENCH_<pr>.json payload.
+// Snapshot is the committed BENCH_<pr>.json payload. The top-level
+// figures are the original TDMA reference workload, kept in place so
+// snapshots stay comparable across the whole committed trajectory; the
+// optional CSMA section tracks the contention-shaped companion workload
+// (absent from snapshots recorded before it existed, and skipped by
+// -check when absent).
 type Snapshot struct {
 	Schema   string      `json:"schema"`
 	Workload string      `json:"workload"`
@@ -43,11 +48,23 @@ type Snapshot struct {
 	// Speedup is wheel events/sec over heap events/sec, measured in the
 	// same process on the same machine.
 	Speedup float64 `json:"speedup"`
+
+	CSMA *WorkloadSnapshot `json:"csma,omitempty"`
+}
+
+// WorkloadSnapshot carries one extra workload's figures.
+type WorkloadSnapshot struct {
+	Workload string      `json:"workload"`
+	Events   uint64      `json:"events"`
+	Wheel    Measurement `json:"wheel"`
+	Heap     Measurement `json:"heap"`
+	Speedup  float64     `json:"speedup"`
 }
 
 const (
 	schema       = "bench-snapshot/v1"
 	workloadDesc = "simbench reference: 8-node TDMA, 30ms cycle, 205Hz sampling, 60 virtual seconds"
+	csmaDesc     = "simbench csma reference: same BAN, 3-hop CCA chain per burst (slotted CSMA/CA shape)"
 	// allocsSlack is the absolute allowance on allocs/event in -check;
 	// allocation counts are near-deterministic but warmup noise exists.
 	allocsSlack = 0.05
@@ -127,6 +144,19 @@ func main() {
 		Heap:     heap,
 		Speedup:  wheel.EventsPerSec / heap.EventsPerSec,
 	}
+	ccfg := simbench.CSMAReference()
+	cwheel, cwheelEvents := measure(sim.NewKernel, ccfg, *reps)
+	cheap, cheapEvents := measure(sim.NewHeapKernel, ccfg, *reps)
+	if cwheelEvents != cheapEvents {
+		fatalf("schedulers disagree on csma event count: wheel %d, heap %d", cwheelEvents, cheapEvents)
+	}
+	snap.CSMA = &WorkloadSnapshot{
+		Workload: csmaDesc,
+		Events:   cwheelEvents,
+		Wheel:    cwheel,
+		Heap:     cheap,
+		Speedup:  cwheel.EventsPerSec / cheap.EventsPerSec,
+	}
 
 	if *out != "" {
 		data, err := json.MarshalIndent(snap, "", "  ")
@@ -177,6 +207,28 @@ func main() {
 	if snap.Speedup < minSpeedup {
 		complain("wheel only %.2fx the heap baseline (floor %.1fx)", snap.Speedup, minSpeedup)
 	}
+	if want.CSMA != nil {
+		got, ref := snap.CSMA, want.CSMA
+		if got.Events != ref.Events {
+			complain("csma event count %d != committed %d: the workload changed; update %s "+
+				"(make bench-snapshot) in the same commit", got.Events, ref.Events, *check)
+		}
+		climit := ref.Wheel.NsPerEvent * (1 + *tol)
+		if got.Wheel.NsPerEvent > climit {
+			complain("csma wheel %.1f ns/event exceeds committed %.1f +%.0f%% = %.1f",
+				got.Wheel.NsPerEvent, ref.Wheel.NsPerEvent, *tol*100, climit)
+		}
+		if got.Wheel.AllocsPerEvent > ref.Wheel.AllocsPerEvent+allocsSlack {
+			complain("csma wheel %.3f allocs/event exceeds committed %.3f (+%.2f slack)",
+				got.Wheel.AllocsPerEvent, ref.Wheel.AllocsPerEvent, allocsSlack)
+		}
+		if got.Wheel.AllocsPerEvent > maxWheelAllocs {
+			complain("csma wheel %.3f allocs/event exceeds the %.1f budget", got.Wheel.AllocsPerEvent, maxWheelAllocs)
+		}
+		if got.Speedup < minSpeedup {
+			complain("csma wheel only %.2fx the heap baseline (floor %.1fx)", got.Speedup, minSpeedup)
+		}
+	}
 	if fail {
 		os.Exit(1)
 	}
@@ -189,4 +241,11 @@ func report(s Snapshot) {
 		"heap %.1f ns/event %.0f ev/s %.3f allocs/event | speedup %.2fx\n",
 		s.Events, s.Wheel.NsPerEvent, s.Wheel.EventsPerSec, s.Wheel.AllocsPerEvent,
 		s.Heap.NsPerEvent, s.Heap.EventsPerSec, s.Heap.AllocsPerEvent, s.Speedup)
+	if c := s.CSMA; c != nil {
+		fmt.Printf("bench: %s\n", c.Workload)
+		fmt.Printf("bench: %d events | wheel %.1f ns/event %.0f ev/s %.3f allocs/event | "+
+			"heap %.1f ns/event %.0f ev/s %.3f allocs/event | speedup %.2fx\n",
+			c.Events, c.Wheel.NsPerEvent, c.Wheel.EventsPerSec, c.Wheel.AllocsPerEvent,
+			c.Heap.NsPerEvent, c.Heap.EventsPerSec, c.Heap.AllocsPerEvent, c.Speedup)
+	}
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite the maccompare golden file")
+
+// TestMacCompareGolden locks the cross-protocol comparison table: the
+// same fixed workload through every registered MAC must render the
+// byte-identical CSV at any worker count, and must match the committed
+// snapshot. Refresh with:
+//
+//	go test ./cmd/sweep -run TestMacCompareGolden -update
+func TestMacCompareGolden(t *testing.T) {
+	base := core.Config{
+		Nodes:    3,
+		Cycle:    30 * sim.Millisecond,
+		App:      core.AppRpeak,
+		Duration: 10 * sim.Second,
+		Seed:     1,
+	}
+	render := func(workers int) string {
+		points := macComparePoints(base)
+		results := runner.Run(points, runner.Options{Workers: workers})
+		if err := runner.FirstErr(results); err != nil {
+			t.Fatalf("point %v", err)
+		}
+		var buf bytes.Buffer
+		w := csv.NewWriter(&buf)
+		writeMacCompareCSV(w, results)
+		w.Flush()
+		return buf.String()
+	}
+	got := render(4)
+	if seq := render(1); got != seq {
+		t.Fatalf("maccompare table depends on the worker count:\nparallel:\n%s\nsequential:\n%s", got, seq)
+	}
+
+	golden := filepath.Join("testdata", "maccompare.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("no golden snapshot (run with -update to record): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("maccompare table drifted from the golden snapshot:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -37,9 +37,9 @@ import (
 
 func main() {
 	var (
-		mode     = flag.String("mode", "cycle", "sweep dimension: cycle | nodes | fs | ber | drift | clock | crashrate | lifetime")
+		mode     = flag.String("mode", "cycle", "sweep dimension: cycle | nodes | fs | ber | drift | clock | crashrate | lifetime | maccompare")
 		appName  = flag.String("app", "streaming", "application: streaming | rpeak | hrv")
-		macName  = flag.String("mac", "static", "MAC variant: static | dynamic")
+		macName  = flag.String("mac", "static", "MAC protocol: static | dynamic | csma | lpl (ignored by -mode maccompare, which runs them all)")
 		nodes    = flag.Int("nodes", 5, "node count (fixed dimensions)")
 		duration = flag.Duration("duration", 20*time.Second, "measurement window per point")
 		seed     = flag.Int64("seed", 1, "simulation seed")
@@ -49,9 +49,9 @@ func main() {
 	)
 	flag.Parse()
 
-	variant := mac.Static
-	if *macName == "dynamic" {
-		variant = mac.Dynamic
+	proto := mac.Protocol(*macName)
+	if _, ok := mac.Lookup(proto); !ok {
+		fatalf("unknown MAC %q (registered: %v)", *macName, mac.Protocols())
 	}
 	var app core.AppKind
 	switch *appName {
@@ -66,12 +66,15 @@ func main() {
 	}
 
 	base := core.Config{
-		Variant:  variant,
+		Protocol: proto,
 		Nodes:    *nodes,
 		Cycle:    30 * sim.Millisecond,
 		App:      app,
 		Duration: sim.FromDuration(*duration),
 		Seed:     *seed,
+	}
+	if proto == mac.ProtoLPL {
+		base.Cycle = 0 // the wakeup interval, not a TDMA cycle, paces LPL
 	}
 	if app == core.AppStreaming {
 		base.SampleRateHz = 205
@@ -99,7 +102,7 @@ func main() {
 		for n := 1; n <= 5; n++ {
 			cfg := base
 			cfg.Nodes = n
-			if app == core.AppStreaming && variant == mac.Dynamic {
+			if app == core.AppStreaming && proto == mac.ProtoDynamic {
 				// Dynamic cycle = (n+1) x 10 ms; keep 12 samples/cycle.
 				cfg.SampleRateHz = 6.0 / (float64(n+1) * 0.010)
 			}
@@ -184,6 +187,8 @@ func main() {
 				add(fmt.Sprintf("scale=%g,degrade=%v", scale, deg), cfg)
 			}
 		}
+	case "maccompare":
+		points = macComparePoints(base)
 	default:
 		fatalf("unknown mode %q", *mode)
 	}
@@ -224,6 +229,10 @@ func main() {
 		writeLifetimeCSV(w, results)
 		return
 	}
+	if *mode == "maccompare" {
+		writeMacCompareCSV(w, results)
+		return
+	}
 	header := []string{"point", "radio_mJ", "mcu_mJ", "total_mJ", "avg_power_mW",
 		"pkts_sent", "pkts_acked", "ack_missed", "retries",
 		"avg_latency_ms", "max_latency_ms",
@@ -252,6 +261,63 @@ func main() {
 			f3(meanAvailability(r.Res.Nodes)),
 			f3(meanDelivery(r.Res.Nodes)),
 			strconv.FormatUint(r.Res.BSStats.SlotsReclaimed, 10),
+		}
+		if err := w.Write(row); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+// macComparePoints builds one point per registered MAC protocol, all
+// running the identical workload: the cross-protocol comparison the
+// related-work MAC surveys tabulate. A warmup absorbs the very
+// different join transients (TDMA slot grants vs LPL strobed
+// association) so the measured window compares steady states.
+func macComparePoints(base core.Config) []runner.Point {
+	var points []runner.Point
+	for _, p := range mac.Protocols() {
+		cfg := base
+		cfg.Protocol = p
+		cfg.Warmup = 3 * sim.Second
+		if p == mac.ProtoLPL {
+			cfg.Cycle = 0 // paced by the wakeup interval instead
+		} else if cfg.Cycle == 0 {
+			cfg.Cycle = 30 * sim.Millisecond
+		}
+		points = append(points, runner.Point{Label: string(p), Config: cfg})
+	}
+	return points
+}
+
+// writeMacCompareCSV emits the cross-protocol table: per-protocol
+// energy, latency and delivery for the same workload, plus an estimated
+// full-CR2032 node lifetime extrapolated from the measured average
+// power (simulating an actual 220 mAh cell to empty would take
+// simulated months).
+func writeMacCompareCSV(w *csv.Writer, results []runner.Result) {
+	header := []string{"protocol", "radio_mJ", "mcu_mJ", "total_mJ", "avg_power_mW",
+		"avg_latency_ms", "max_latency_ms", "delivery_ratio", "availability",
+		"est_cr2032_days", "beacons_heard", "cca_attempts", "strobes_sent"}
+	if err := w.Write(header); err != nil {
+		fatalf("%v", err)
+	}
+	usableJ := battery.CR2032().UsableJ()
+	for _, r := range results {
+		n := r.Res.Node()
+		total := n.RadioMJ() + n.MCUMJ()
+		secs := r.Config.Duration.Seconds()
+		powerW := total / 1e3 / secs
+		row := []string{
+			r.Label,
+			f1(n.RadioMJ()), f1(n.MCUMJ()), f1(total), f3(total / secs),
+			f1(n.Mac.AvgLatency().Milliseconds()),
+			f1(n.Mac.LatencyMax.Milliseconds()),
+			f3(meanDelivery(r.Res.Nodes)),
+			f3(meanAvailability(r.Res.Nodes)),
+			f1(usableJ / powerW / 86400),
+			strconv.FormatUint(n.Mac.BeaconsHeard, 10),
+			strconv.FormatUint(n.Mac.CCAAttempts, 10),
+			strconv.FormatUint(n.Mac.StrobesSent, 10),
 		}
 		if err := w.Write(row); err != nil {
 			fatalf("%v", err)

@@ -31,7 +31,7 @@ const (
 
 func main() {
 	var (
-		macName  = flag.String("mac", "static", "MAC variant: static | dynamic")
+		macName  = flag.String("mac", "static", "MAC protocol: static | dynamic | csma | lpl")
 		horizon  = flag.Duration("duration", 0, "simulated time to trace (default 400ms)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		crash    = flag.Bool("crash", false, "crash node 1 mid-trace and reboot it, to show the recovery sequence")
@@ -40,13 +40,25 @@ func main() {
 	)
 	flag.Parse()
 
+	proto := mac.Protocol(*macName)
 	variant := mac.Static
-	figure := "FIGURE 2 — static TDMA timeline"
-	if *macName == "dynamic" {
+	var figure, legend string
+	switch proto {
+	case mac.ProtoStatic:
+		figure = "FIGURE 2 — static TDMA timeline"
+		legend = "(SB = beacon slot, SSRi = slot request, Si = assigned slot, RB = beacon reception)"
+	case mac.ProtoDynamic:
 		variant = mac.Dynamic
 		figure = "FIGURE 3 — dynamic TDMA timeline"
-	} else if *macName != "static" {
-		fmt.Fprintf(os.Stderr, "timeline: unknown MAC %q\n", *macName)
+		legend = "(SB = beacon slot, SSRi = slot request, Si = assigned slot, RB = beacon reception)"
+	case mac.ProtoCSMA:
+		figure = "Slotted CSMA/CA timeline"
+		legend = "(beacons pace the contention windows; CCA then BEB backoff arbitrates each data burst)"
+	case mac.ProtoLPL:
+		figure = "Preamble-sampling LPL timeline"
+		legend = "(strobe trains wake the duty-cycled base station; an early ack truncates the train)"
+	default:
+		fmt.Fprintf(os.Stderr, "timeline: unknown MAC %q (registered: %v)\n", *macName, mac.Protocols())
 		os.Exit(1)
 	}
 
@@ -64,7 +76,7 @@ func main() {
 	k := sim.NewKernel(*seed)
 	ch := channel.New(k)
 	tracer := trace.New(0)
-	var baseOpts []node.BaseOption
+	baseOpts := []node.BaseOption{node.WithBaseProtocol(proto, mac.Params{})}
 	if *crash {
 		// Reclaim after 8 silent cycles: longer than the streaming app's
 		// inter-frame gap (so a live node is never reclaimed) but quick
@@ -77,7 +89,7 @@ func main() {
 
 	var first *node.Sensor
 	for i := 0; i < 2; i++ {
-		var opts []node.Option
+		opts := []node.Option{node.WithProtocol(proto, mac.Params{})}
 		if *degrade {
 			// A nearly-empty cell: the cascade — stretch, downshift,
 			// beacon-only parking, brownout — plays out inside the trace.
@@ -112,7 +124,7 @@ func main() {
 	k.RunUntil(until)
 
 	fmt.Println(figure)
-	fmt.Println("(SB = beacon slot, SSRi = slot request, Si = assigned slot, RB = beacon reception)")
+	fmt.Println(legend)
 	fmt.Println()
 	fmt.Print(tracer.Render())
 

@@ -54,6 +54,14 @@ const (
 type Config struct {
 	// Variant selects static or dynamic TDMA.
 	Variant mac.Variant
+	// Protocol selects the MAC protocol by registry name ("static",
+	// "dynamic", "csma", "lpl"). Empty derives it from Variant, so
+	// historical configs keep working; Validate resolves it.
+	Protocol mac.Protocol
+	// MACParams carries the protocol's tuning knobs (CSMA backoff
+	// bounds, LPL check interval); the zero value selects each
+	// protocol's documented defaults.
+	MACParams mac.Params
 	// Nodes is the number of sensor nodes (the paper's case studies use
 	// 1..5).
 	Nodes int
@@ -165,11 +173,24 @@ func (c *Config) Validate() error {
 	if c.Nodes <= 0 {
 		return fmt.Errorf("core: Nodes must be positive, got %d", c.Nodes)
 	}
-	if c.Variant == mac.Static && c.Cycle <= 0 {
+	if c.Protocol == "" {
+		c.Protocol = c.Variant.Protocol()
+	}
+	desc, ok := mac.Lookup(c.Protocol)
+	if !ok {
+		return fmt.Errorf("core: unknown MAC protocol %q", c.Protocol)
+	}
+	if err := desc.Validate(c.MACParams); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.Protocol == mac.ProtoStatic && c.Cycle <= 0 {
 		return fmt.Errorf("core: static TDMA needs a positive Cycle")
 	}
 	if c.Cycle < 0 {
 		return fmt.Errorf("core: negative Cycle %v", c.Cycle)
+	}
+	if c.Protocol == mac.ProtoCSMA && c.Cycle == 0 {
+		c.Cycle = mac.DefaultCSMACycle
 	}
 	// Negative times would reach the kernel as horizons or delays in the
 	// past, which it rejects by panicking; scenario files are untrusted
@@ -408,7 +429,7 @@ func Run(cfg Config) (Results, error) {
 	ch := channel.New(k)
 	tracer := trace.New(cfg.TraceLimit)
 
-	var baseOpts []node.BaseOption
+	baseOpts := []node.BaseOption{node.WithBaseProtocol(cfg.Protocol, cfg.MACParams)}
 	if cfg.SlotReclaimCycles > 0 {
 		baseOpts = append(baseOpts, node.WithReclaimAfter(cfg.SlotReclaimCycles))
 	}
@@ -426,7 +447,7 @@ func Run(cfg Config) (Results, error) {
 	sensors := make([]*node.Sensor, cfg.Nodes)
 	apps := make([]app.App, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
-		var opts []node.Option
+		opts := []node.Option{node.WithProtocol(cfg.Protocol, cfg.MACParams)}
 		if cfg.ClockDriftPPM > 0 {
 			drift := cfg.ClockDriftPPM
 			if k.Rand().Intn(2) == 0 {
@@ -536,8 +557,9 @@ func Run(cfg Config) (Results, error) {
 	// does not matter.
 	var eng *audit.Engine
 	if cfg.Audit != nil {
+		desc, _ := mac.Lookup(cfg.Protocol)
 		eng = audit.New(k, *cfg.Audit)
-		registerAudits(eng, k, base, sensors)
+		registerAudits(eng, k, desc.Caps, base, sensors)
 		eng.Start()
 	}
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/audit"
+	"repro/internal/mac"
 	"repro/internal/node"
 	"repro/internal/sim"
 )
@@ -18,13 +19,17 @@ import (
 //   - event-pool (final only): the wheel's slot pool balances — every
 //     allocated slot is recycled or live; checked once at run end so a
 //     leak anywhere in the run is caught after the queue drains.
-//   - slot-table: the base station's node↔slot maps stay inverse
-//     bijections, in range, dense (dynamic), and grant-consistent.
+//   - slot-table (slotted MACs): the base station's node↔slot maps
+//     stay inverse bijections, in range, dense (dynamic), and
+//     grant-consistent. Contention MACs register member-table instead:
+//     the membership bookkeeping stays bijective and in range.
 //   - frame-conservation: per node, the MAC's counters balance —
 //     every missed ack became a retry or drop, every transmitted frame
 //     is acked, timed out, abandoned or (at most one) pending.
-//   - slot-containment: a joined node's grant window fits inside the
-//     cycle it learned from its reference beacon.
+//   - slot-containment (slotted MACs): a joined node's grant window
+//     fits inside the cycle it learned from its reference beacon.
+//     Contention MACs register channel-access instead: CCA and strobe
+//     counters stay mutually consistent with the frames transmitted.
 //   - generation-monotonic: the crash generation counter never
 //     regresses, across any number of crash/reboot cycles.
 //   - battery-conservation: the coulomb counter's epoch draw equals
@@ -32,21 +37,29 @@ import (
 //     ledger metered (within approx tolerance).
 //   - battery-dead-sticky / battery-level-monotonic: a browned-out
 //     cell stays dead, and the degradation ladder is only descended.
-func registerAudits(eng *audit.Engine, k *sim.Kernel, base *node.Base, sensors []*node.Sensor) {
+func registerAudits(eng *audit.Engine, k *sim.Kernel, caps mac.Capabilities, base *node.Base, sensors []*node.Sensor) {
 	eng.Register("time-monotonic", "kernel", audit.TimeMonotonic(k))
 	eng.RegisterFinal("event-pool", "kernel", func(sim.Time) []string {
 		return k.AuditPool()
 	})
-	eng.Register("slot-table", "bs", func(sim.Time) []string {
-		return base.BS.AuditSlotTable()
+	// The association and arbitration laws register under names that say
+	// which invariant family the protocol actually owes: slotted MACs owe
+	// the slot-table bijections and grant-window containment, contention
+	// MACs owe membership consistency and channel-access accounting.
+	tableLaw, nodeLaw := "member-table", "channel-access"
+	if caps.Slotted {
+		tableLaw, nodeLaw = "slot-table", "slot-containment"
+	}
+	eng.Register(tableLaw, "bs", func(sim.Time) []string {
+		return base.BS.AuditTable()
 	})
 	for _, s := range sensors {
 		s := s
 		eng.Register("frame-conservation", s.Name, func(sim.Time) []string {
 			return s.Mac.AuditFrame()
 		})
-		eng.Register("slot-containment", s.Name, func(sim.Time) []string {
-			return s.Mac.AuditSlot()
+		eng.Register(nodeLaw, s.Name, func(sim.Time) []string {
+			return s.Mac.AuditProtocol()
 		})
 		eng.Register("generation-monotonic", s.Name,
 			audit.Monotonic("crash generation", s.Mac.Generation))

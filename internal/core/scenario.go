@@ -15,7 +15,7 @@ import (
 // scenarioJSON is the on-disk scenario schema: a flat, readable form of
 // Config with string enums and duration strings.
 type scenarioJSON struct {
-	Mac          string                 `json:"mac"`           // "static" | "dynamic"
+	Mac          macJSON                `json:"mac"`           // "static" | {"protocol":"csma",...}
 	Nodes        int                    `json:"nodes"`         //
 	Cycle        sim.Time               `json:"cycle"`         // "30ms" (static only)
 	App          string                 `json:"app"`           // "streaming" | "rpeak" | "hrv" | "eeg"
@@ -37,6 +37,58 @@ type scenarioJSON struct {
 	Degrade      *battery.DegradePolicy `json:"degradePolicy,omitempty"` // low-battery watermarks
 	Scheduler    string                 `json:"scheduler,omitempty"`     // "wheel" (default) | "heap"
 	Audit        *auditJSON             `json:"audit,omitempty"`         // runtime invariant audits
+}
+
+// macJSON selects the MAC protocol. The historical form is a bare
+// string naming the protocol; the object form adds the protocol's
+// tuning knobs ({"protocol":"csma","minBE":2,...} or
+// {"protocol":"lpl","checkInterval":"50ms"}). Both forms decode into
+// the same value, and the encoder emits the bare string whenever every
+// knob is at its default.
+type macJSON struct {
+	Protocol      string   `json:"protocol"`
+	MinBE         int      `json:"minBE,omitempty"`
+	MaxBE         int      `json:"maxBE,omitempty"`
+	MaxBackoffs   int      `json:"maxBackoffs,omitempty"`
+	CheckInterval sim.Time `json:"checkInterval,omitempty"`
+}
+
+func (m *macJSON) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		*m = macJSON{Protocol: s}
+		return nil
+	}
+	// Alias sheds the method set so the object form decodes without
+	// recursing into this unmarshaller.
+	type alias macJSON
+	var a alias
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	*m = macJSON(a)
+	return nil
+}
+
+func (m macJSON) MarshalJSON() ([]byte, error) {
+	if m.MinBE == 0 && m.MaxBE == 0 && m.MaxBackoffs == 0 && m.CheckInterval == 0 {
+		return json.Marshal(m.Protocol)
+	}
+	type alias macJSON
+	return json.Marshal(alias(m))
+}
+
+// params converts the decoded knobs into the MAC layer's Params.
+func (m macJSON) params() mac.Params {
+	return mac.Params{
+		MinBE:         m.MinBE,
+		MaxBE:         m.MaxBE,
+		MaxBackoffs:   m.MaxBackoffs,
+		CheckInterval: m.CheckInterval,
+	}
 }
 
 // auditJSON enables the runtime invariant-audit engine for a scenario.
@@ -138,21 +190,41 @@ func ConfigFromJSON(data []byte) (Config, error) {
 		}
 		cfg.Audit = &ac
 	}
-	switch s.Mac {
-	case "static", "":
-		cfg.Variant = mac.Static
-	case "dynamic":
+	proto := mac.Protocol(s.Mac.Protocol)
+	if proto == "" {
+		proto = mac.ProtoStatic
+	}
+	desc, ok := mac.Lookup(proto)
+	if !ok {
+		return Config{}, fmt.Errorf("core: unknown mac %q", s.Mac.Protocol)
+	}
+	cfg.MACParams = s.Mac.params()
+	if err := desc.Validate(cfg.MACParams); err != nil {
+		return Config{}, err
+	}
+	cfg.Protocol = proto
+	// The Variant field mirrors the TDMA protocols for callers that still
+	// read it; contention protocols leave it at its zero value.
+	if proto == mac.ProtoDynamic {
 		cfg.Variant = mac.Dynamic
-	default:
-		return Config{}, fmt.Errorf("core: unknown mac %q", s.Mac)
 	}
 	return cfg, nil
 }
 
 // ConfigToJSON renders a Config back into the scenario schema.
 func ConfigToJSON(cfg Config) ([]byte, error) {
+	proto := cfg.Protocol
+	if proto == "" {
+		proto = cfg.Variant.Protocol()
+	}
 	s := scenarioJSON{
-		Mac:          cfg.Variant.String(),
+		Mac: macJSON{
+			Protocol:      string(proto),
+			MinBE:         cfg.MACParams.MinBE,
+			MaxBE:         cfg.MACParams.MaxBE,
+			MaxBackoffs:   cfg.MACParams.MaxBackoffs,
+			CheckInterval: cfg.MACParams.CheckInterval,
+		},
 		Nodes:        cfg.Nodes,
 		Cycle:        cfg.Cycle,
 		App:          string(cfg.App),

@@ -33,7 +33,20 @@ func FuzzLoadScenario(f *testing.F) {
 	// Adversarial shapes the on-disk corpus doesn't cover.
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`not json`))
+	// MAC selection: every registered protocol in bare-string form, the
+	// object form with tuning knobs, and shapes the loader must reject
+	// (unknown protocols, out-of-range or cross-protocol parameters).
 	f.Add([]byte(`{"mac":"csma"}`))
+	f.Add([]byte(`{"mac":"lpl","nodes":2,"duration":"5s"}`))
+	f.Add([]byte(`{"mac":"aloha"}`))
+	f.Add([]byte(`{"mac":{"protocol":"csma","minBE":2,"maxBE":6,"maxBackoffs":5}}`))
+	f.Add([]byte(`{"mac":{"protocol":"lpl","checkInterval":"50ms"}}`))
+	f.Add([]byte(`{"mac":{"protocol":"csma","minBE":9,"maxBE":-1}}`))
+	f.Add([]byte(`{"mac":{"protocol":"lpl","checkInterval":"-10ms"}}`))
+	f.Add([]byte(`{"mac":{"protocol":"lpl","checkInterval":"2s"}}`))
+	f.Add([]byte(`{"mac":{"protocol":"static","maxBackoffs":1}}`))
+	f.Add([]byte(`{"mac":{"protocol":"csma","checkInterval":"100ms"}}`))
+	f.Add([]byte(`{"mac":12}`))
 	f.Add([]byte(`{"cycle":12345,"duration":9}`))
 	f.Add([]byte(`{"cycle":"-5ms","duration":"-1s","warmup":"-1s","startStagger":"-1ms"}`))
 	f.Add([]byte(`{"burst":{"pGoodToBad":1e308,"berBad":-1}}`))

@@ -47,14 +47,93 @@ func TestConfigFromJSON(t *testing.T) {
 
 func TestConfigFromJSONErrors(t *testing.T) {
 	cases := []string{
-		`{`,                         // malformed
-		`{"mac": "csma"}`,           // unknown variant
-		`{"duration": "yesterday"}`, // bad duration
+		`{`,                                  // malformed
+		`{"mac": "aloha"}`,                   // unknown protocol
+		`{"duration": "yesterday"}`,          // bad duration
+		`{"mac": {"protocol": "tokenring"}}`, // unknown protocol, object form
+		`{"mac": {"protocol": "static", "minBE": 3}}`,            // backoff knob on a TDMA MAC
+		`{"mac": {"protocol": "csma", "minBE": 9}}`,              // exponent beyond the cap
+		`{"mac": {"protocol": "csma", "minBE": -1}}`,             // negative exponent
+		`{"mac": {"protocol": "csma", "minBE": 6, "maxBE": 4}}`,  // inverted bounds
+		`{"mac": {"protocol": "csma", "maxBackoffs": 11}}`,       // beyond the retry cap
+		`{"mac": {"protocol": "csma", "checkInterval": "50ms"}}`, // LPL knob on CSMA
+		`{"mac": {"protocol": "lpl", "maxBE": 5}}`,               // CSMA knob on LPL
+		`{"mac": {"protocol": "lpl", "checkInterval": "-10ms"}}`, // negative cadence
+		`{"mac": {"protocol": "lpl", "checkInterval": "2s"}}`,    // beyond the 1 s ceiling
 	}
 	for i, s := range cases {
 		if _, err := ConfigFromJSON([]byte(s)); err == nil {
 			t.Errorf("case %d accepted", i)
 		}
+	}
+}
+
+func TestConfigFromJSONMacForms(t *testing.T) {
+	// Bare string and object forms decode to the same selection.
+	bare, err := ConfigFromJSON([]byte(`{"mac": "csma"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := ConfigFromJSON([]byte(`{"mac": {"protocol": "csma"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Protocol != mac.ProtoCSMA || obj.Protocol != mac.ProtoCSMA {
+		t.Fatalf("protocols: bare=%q obj=%q", bare.Protocol, obj.Protocol)
+	}
+	if bare.MACParams != obj.MACParams {
+		t.Fatalf("params differ: %+v vs %+v", bare.MACParams, obj.MACParams)
+	}
+
+	// Tuning knobs ride the object form.
+	cfg, err := ConfigFromJSON([]byte(
+		`{"mac": {"protocol": "csma", "minBE": 2, "maxBE": 6, "maxBackoffs": 5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mac.Params{MinBE: 2, MaxBE: 6, MaxBackoffs: 5}
+	if cfg.MACParams != want {
+		t.Fatalf("params = %+v, want %+v", cfg.MACParams, want)
+	}
+
+	lpl, err := ConfigFromJSON([]byte(
+		`{"mac": {"protocol": "lpl", "checkInterval": "50ms"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lpl.Protocol != mac.ProtoLPL || lpl.MACParams.CheckInterval != 50*sim.Millisecond {
+		t.Fatalf("lpl decode: %+v", lpl.MACParams)
+	}
+
+	// The legacy names still populate Variant for callers that read it.
+	dyn, err := ConfigFromJSON([]byte(`{"mac": "dynamic"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Variant != mac.Dynamic || dyn.Protocol != mac.ProtoDynamic {
+		t.Fatalf("dynamic decode: variant=%v protocol=%q", dyn.Variant, dyn.Protocol)
+	}
+}
+
+func TestConfigJSONMacRoundTrip(t *testing.T) {
+	in := Config{
+		Protocol:     mac.ProtoCSMA,
+		MACParams:    mac.Params{MinBE: 2, MaxBE: 6},
+		Nodes:        3,
+		App:          AppStreaming,
+		SampleRateHz: 205,
+		Duration:     10 * sim.Second,
+	}
+	data, err := ConfigToJSON(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ConfigFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Protocol != in.Protocol || out.MACParams != in.MACParams {
+		t.Fatalf("round trip: protocol=%q params=%+v\nencoded: %s", out.Protocol, out.MACParams, data)
 	}
 }
 

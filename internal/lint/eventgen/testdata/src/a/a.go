@@ -58,3 +58,71 @@ func (m *nodeMac) armWaived() {
 		m.armed = true
 	})
 }
+
+// csmaNode mirrors the contention MAC's backoff machinery: nested
+// schedule chains where each hop re-arms the next, and a strobe timer.
+type csmaNode struct {
+	k       *sim.Kernel
+	gen     uint64
+	backoff int
+}
+
+// chainUnchecked rechecks the generation at the first hop but not the
+// second: the inner hop fires long after the outer check ran, so it is
+// flagged on its own.
+func (m *csmaNode) chainUnchecked() {
+	gen := m.gen
+	m.k.Schedule(3, func(*sim.Kernel) {
+		if m.gen != gen {
+			return
+		}
+		m.k.Schedule(3, func(*sim.Kernel) { // want `scheduled callback captures crash-aware m but never checks its generation`
+			m.backoff--
+		})
+	})
+}
+
+// chainChecked rechecks at every hop, the way the CSMA backoff ladder
+// does. Quiet.
+func (m *csmaNode) chainChecked() {
+	gen := m.gen
+	m.k.Schedule(3, func(*sim.Kernel) {
+		if m.gen != gen {
+			return
+		}
+		m.k.Schedule(3, func(*sim.Kernel) {
+			if m.gen != gen {
+				return
+			}
+			m.backoff--
+		})
+	})
+}
+
+// lplNode mirrors the preamble-sampling MAC: a strobe-gap timer armed
+// through sim.NewTimer whose callback must survive a crash safely.
+type lplNode struct {
+	k       *sim.Kernel
+	gen     uint64
+	strobes int
+}
+
+// strobeTimerUnchecked captures the node without a generation check:
+// a stale gap timer would keep strobing after a crash. Flagged.
+func (m *lplNode) strobeTimerUnchecked() *sim.Timer {
+	return sim.NewTimer(m.k, func(*sim.Kernel) { // want `scheduled callback captures crash-aware m but never checks its generation`
+		m.strobes++
+	})
+}
+
+// strobeTimerChecked is the convention the LPL strobe train follows.
+// Quiet.
+func (m *lplNode) strobeTimerChecked() *sim.Timer {
+	gen := m.gen
+	return sim.NewTimer(m.k, func(*sim.Kernel) {
+		if m.gen != gen {
+			return
+		}
+		m.strobes++
+	})
+}

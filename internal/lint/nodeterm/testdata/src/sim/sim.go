@@ -51,3 +51,20 @@ func Span(d time.Duration) time.Duration {
 func Waived() time.Time {
 	return time.Now() //lint:allow nodeterm boot-time banner only, not simulation state
 }
+
+// BackoffExponent mirrors the contention MAC's randomized backoff: the
+// draw must come from a seeded stream (the kernel's), never the global
+// source, or two runs of the same seed contend differently.
+func BackoffExponent(seeded *rand.Rand) (int, int) {
+	bad := rand.Intn(8) // want `global rand\.Intn breaks \(Config, Seed\) determinism`
+	good := seeded.Intn(8)
+	return bad, good
+}
+
+// StrobeDeadline mirrors the LPL wakeup arithmetic: pure
+// time.Duration math stays quiet, but anchoring it to the wall clock
+// is banned.
+func StrobeDeadline(checkInterval time.Duration) time.Time {
+	_ = checkInterval * 2
+	return time.Now().Add(checkInterval) // want `time\.Now is wall-clock nondeterminism`
+}

@@ -16,6 +16,11 @@ import (
 // BSConfig parameterises the base-station MAC.
 type BSConfig struct {
 	Variant Variant
+	// Protocol selects the MAC from the registry; empty derives it from
+	// Variant ("static"/"dynamic").
+	Protocol Protocol
+	// Params tunes the contention protocols (ignored by TDMA).
+	Params Params
 	// Profile is normally platform.BaseStation().
 	Profile platform.Profile
 	// StaticCycle is the fixed TDMA cycle (static variant only).
@@ -49,6 +54,13 @@ type BSStats struct {
 	// SlotsReleased counts voluntary releases from nodes entering
 	// beacon-only mode (distinct from silence reclaims).
 	SlotsReleased uint64
+	// Probes/StrobesHeard/EarlyAcksSent are the LPL receiver's
+	// preamble-sampling counters (zero for beaconed protocols): channel
+	// probes performed, strobes detected, and strobe trains truncated
+	// with an early ack.
+	Probes        uint64
+	StrobesHeard  uint64
+	EarlyAcksSent uint64
 }
 
 // RxRecord is one data frame the base station accepted.
@@ -94,6 +106,10 @@ type BS struct {
 	received []RxRecord
 	stats    BSStats
 	started  bool
+	// idHeader switches data-frame sender attribution from slot timing to
+	// the one-byte sender-ID header contention MACs prepend (set by the
+	// CSMA wrapper; a contention sender may transmit at any offset).
+	idHeader bool
 	// inBeaconPrep marks the SB region: from beacon preparation until
 	// the beacon has flown, the radio is owned by the beacon path and
 	// data acknowledgements are suppressed (the sender retries).
@@ -228,6 +244,10 @@ func (bs *BS) AuditSlotTable() []string {
 	}
 	return v
 }
+
+// AuditTable implements BSMAC: the TDMA base station's association
+// bookkeeping is the slot table.
+func (bs *BS) AuditTable() []string { return bs.AuditSlotTable() }
 
 // ResetAccounting zeroes statistics and the received-frame log.
 func (bs *BS) ResetAccounting() {
@@ -514,18 +534,35 @@ func (bs *BS) nextFreeSlot() int {
 	}
 }
 
-// handleData identifies the sender from the slot timing, acknowledges the
+// handleData identifies the sender — from the slot timing under TDMA,
+// from the sender-ID header under contention access — acknowledges the
 // frame and hands it to the data sink.
 func (bs *BS) handleData(payload []byte) {
 	p := bs.cfg.Profile
-	airStart := bs.radio.LastRxFrameEnd() - p.Radio.Airtime(len(payload))
-	offset := airStart - bs.t0
-	slotDur := bs.slotDuration()
-	slot := int(offset/slotDur) - 1
-	node, known := bs.slotNode[slot]
-	if !known {
-		bs.stats.StrayFrames++
-		return
+	var node uint8
+	if bs.idHeader {
+		if len(payload) <= packet.DataHeaderBytes {
+			bs.stats.StrayFrames++
+			return
+		}
+		id := payload[0]
+		if _, member := bs.nodeSlot[id]; !member {
+			bs.stats.StrayFrames++
+			return
+		}
+		node = id
+		payload = payload[packet.DataHeaderBytes:]
+	} else {
+		airStart := bs.radio.LastRxFrameEnd() - p.Radio.Airtime(len(payload))
+		offset := airStart - bs.t0
+		slotDur := bs.slotDuration()
+		slot := int(offset/slotDur) - 1
+		known := false
+		node, known = bs.slotNode[slot]
+		if !known {
+			bs.stats.StrayFrames++
+			return
+		}
 	}
 	delete(bs.silent, node)
 	rec := RxRecord{Node: node, Payload: append([]byte(nil), payload...), At: bs.k.Now()}

@@ -85,6 +85,20 @@ type Stats struct {
 	Abandoned  uint64
 	QueueDrops uint64
 	Rejoins    uint64
+	// CCAAttempts/CCABusy/CCAFails are the CSMA/CA channel-access
+	// counters (zero for other protocols): clear-channel assessments
+	// performed, busy verdicts among them, and transmission attempts
+	// abandoned after MaxBackoffs consecutive busy verdicts.
+	CCAAttempts uint64
+	CCABusy     uint64
+	CCAFails    uint64
+	// StrobesSent/EarlyAcks/StrobeFails are the LPL preamble-sampling
+	// counters (zero for other protocols): strobe preambles
+	// transmitted, strobe trains truncated by the receiver's early ack,
+	// and trains that exhausted their strobe budget unanswered.
+	StrobesSent uint64
+	EarlyAcks   uint64
+	StrobeFails uint64
 	// SlotsSkipped counts data slots slept through by the duty-cycle
 	// stretch rung of the battery degradation ladder.
 	SlotsSkipped uint64

@@ -1,0 +1,15 @@
+package mactest_test
+
+import (
+	"testing"
+
+	"repro/internal/mac/mactest"
+)
+
+// TestConformance runs the MAC conformance kit against every registered
+// protocol — static TDMA, dynamic TDMA, CSMA/CA and LPL — plus the
+// cross-protocol differential property. A protocol added to the
+// registry is picked up automatically.
+func TestConformance(t *testing.T) {
+	mactest.RunAll(t)
+}

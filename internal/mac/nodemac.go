@@ -27,6 +27,11 @@ const (
 // NodeConfig parameterises a node-side MAC instance.
 type NodeConfig struct {
 	Variant Variant
+	// Protocol selects the MAC from the registry; empty derives it from
+	// Variant ("static"/"dynamic"), preserving the historical knob.
+	Protocol Protocol
+	// Params tunes the contention protocols (ignored by TDMA).
+	Params  Params
 	NodeID  uint8
 	Profile platform.Profile
 	// TxQueueCap and MaxRetries default to the package constants when 0.
@@ -969,5 +974,9 @@ func (m *NodeMac) AuditSlot() []string {
 	}
 	return v
 }
+
+// AuditProtocol implements NodeMAC: the TDMA node's protocol-specific
+// laws are the slot-containment checks.
+func (m *NodeMac) AuditProtocol() []string { return m.AuditSlot() }
 
 var _ Mac = (*NodeMac)(nil)

@@ -39,7 +39,7 @@ type Sensor struct {
 	Sched    *tinyos.Sched
 	Radio    *radio.Radio
 	Frontend *asic.Frontend
-	Mac      *mac.NodeMac
+	Mac      mac.NodeMAC
 	App      app.App
 	// Bat is the node's live battery; nil when the scenario runs the
 	// historical always-powered model.
@@ -71,6 +71,15 @@ func WithClockDrift(ppm float64) Option {
 // WithTxQueueCap overrides the MAC transmit queue depth.
 func WithTxQueueCap(n int) Option {
 	return func(o *sensorOpts) { o.mac.TxQueueCap = n }
+}
+
+// WithProtocol selects the node's MAC protocol by registry name and
+// passes its tuning parameters, overriding the TDMA variant argument.
+func WithProtocol(proto mac.Protocol, params mac.Params) Option {
+	return func(o *sensorOpts) {
+		o.mac.Protocol = proto
+		o.mac.Params = params
+	}
 }
 
 // WithAddressPlan binds the node to a specific BAN address plan, for
@@ -119,7 +128,7 @@ func NewSensor(k *sim.Kernel, ch *channel.Channel, tracer *trace.Recorder,
 	sched := tinyos.NewSched(k, m, 0)
 	r := radio.New(k, o.name, prof.Radio, ch, sched, ledger, tracer)
 	fe := asic.New(k, prof.ASIC, ledger)
-	nm := mac.NewNodeMac(k, o.mac, sched, r, ledger, tracer)
+	nm := mac.NewNode(k, o.mac, sched, r, ledger, tracer)
 	s := &Sensor{
 		Name:     o.name,
 		ID:       id,
@@ -321,7 +330,7 @@ type Base struct {
 	MCU    *mcu.MCU
 	Sched  *tinyos.Sched
 	Radio  *radio.Radio
-	BS     *mac.BS
+	BS     mac.BSMAC
 }
 
 // BaseOption customises a base-station build.
@@ -343,6 +352,15 @@ func WithReclaimAfter(n int) BaseOption {
 	return func(c *mac.BSConfig, _ *string) { c.ReclaimAfter = n }
 }
 
+// WithBaseProtocol selects the base station's MAC protocol by registry
+// name and passes its tuning parameters, overriding the variant argument.
+func WithBaseProtocol(proto mac.Protocol, params mac.Params) BaseOption {
+	return func(c *mac.BSConfig, _ *string) {
+		c.Protocol = proto
+		c.Params = params
+	}
+}
+
 // NewBase builds the base-station stack.
 func NewBase(k *sim.Kernel, ch *channel.Channel, tracer *trace.Recorder,
 	variant mac.Variant, staticCycle sim.Time, maxSlots int, opts ...BaseOption) *Base {
@@ -361,7 +379,7 @@ func NewBase(k *sim.Kernel, ch *channel.Channel, tracer *trace.Recorder,
 		opt(&cfg, &name)
 	}
 	r := radio.New(k, name, prof.Radio, ch, sched, ledger, tracer)
-	bs := mac.NewBS(k, cfg, sched, r, ledger, tracer)
+	bs := mac.NewBaseMAC(k, cfg, sched, r, ledger, tracer)
 	return &Base{
 		Name:    name,
 		Profile: prof,

@@ -320,6 +320,12 @@ func (r *Radio) Transmit(dest packet.Address, payload []byte, done func()) {
 	r.Load(dest, payload, func() { r.Fire(done) })
 }
 
+// ChannelBusy reports whether any burst is on the air — the radio's
+// clear-channel assessment primitive. A CSMA MAC models the assessment
+// itself (receiver on through the settle and sample window) and calls
+// this for the energy-detect verdict at the sample instant.
+func (r *Radio) ChannelBusy() bool { return r.ch.Busy() }
+
 // ChannelID implements channel.Transceiver.
 func (r *Radio) ChannelID() string { return r.name }
 

@@ -25,6 +25,12 @@ type Config struct {
 	SampleEvery sim.Time
 	// Duration is the simulated horizon.
 	Duration sim.Time
+	// CCAPerBurst, when positive, reshapes each data burst into a
+	// contention access: the transmission is preceded by this many
+	// clear-channel-assessment events chained one backoff period apart
+	// (the slotted CSMA/CA shape — short schedule/fire hops instead of
+	// the TDMA slot's single event).
+	CCAPerBurst int
 }
 
 // Reference is the fixed configuration the committed snapshots use:
@@ -39,6 +45,20 @@ func Reference() Config {
 	}
 }
 
+// CSMAReference is the contention-shaped companion to Reference: the
+// same BAN geometry, but every data burst walks a three-step CCA chain
+// first, the way the slotted CSMA/CA MAC drives the kernel with short
+// backoff-period hops.
+func CSMAReference() Config {
+	cfg := Reference()
+	cfg.CCAPerBurst = 3
+	return cfg
+}
+
+// backoffUnit spaces the CCA chain: the 802.15.4 aUnitBackoffPeriod at
+// 250 kbit/s.
+const backoffUnit = 320 * sim.Microsecond
+
 // Result reports what the workload did, for determinism checks.
 type Result struct {
 	// Executed is the kernel's own count of dispatched events.
@@ -51,6 +71,9 @@ type Result struct {
 	// Cancels counts successful cancellations (timeouts + watchdog
 	// re-arms).
 	Cancels uint64
+	// CCASamples counts clear-channel-assessment hops (contention
+	// configs only; 0 for the TDMA shape).
+	CCASamples uint64
 }
 
 // benchNode is one sensor node's event machinery, with handlers bound
@@ -64,10 +87,12 @@ type benchNode struct {
 
 	ackID      sim.EventID
 	watchdogID sim.EventID
+	ccaLeft    int
 
 	onSample   sim.Handler
 	onBeacon   sim.Handler
 	onSlot     sim.Handler
+	onCCA      sim.Handler
 	onAck      sim.Handler
 	onTimeout  sim.Handler
 	onWatchdog sim.Handler
@@ -79,6 +104,7 @@ func newBenchNode(k *sim.Kernel, cfg Config, id int, res *Result) *benchNode {
 	n.onSample = n.sample
 	n.onBeacon = n.beacon
 	n.onSlot = n.slotTx
+	n.onCCA = n.cca
 	n.onAck = n.ack
 	n.onTimeout = n.timeout
 	n.onWatchdog = n.watchdog
@@ -102,12 +128,34 @@ func (n *benchNode) beacon(k *sim.Kernel) {
 	}
 }
 
-// slotTx is the data-slot transmission: it starts an ack timeout, the
-// ack that will beat it, and re-arms the far-future sync watchdog (a
-// cancel+schedule pair that keeps one event per node in the overflow
-// spill, the way a lost-beacon deadline does).
+// slotTx opens this cycle's transmission opportunity: the TDMA shape
+// bursts immediately, the contention shape walks the CCA chain first.
 func (n *benchNode) slotTx(k *sim.Kernel) {
 	n.res.Fired++
+	if n.cfg.CCAPerBurst > 0 {
+		n.ccaLeft = n.cfg.CCAPerBurst
+		k.Schedule(backoffUnit, n.onCCA)
+		return
+	}
+	n.burst(k)
+}
+
+// cca is one clear-channel-assessment hop of the contention chain.
+func (n *benchNode) cca(k *sim.Kernel) {
+	n.res.Fired++
+	n.res.CCASamples++
+	if n.ccaLeft--; n.ccaLeft > 0 {
+		k.Schedule(backoffUnit, n.onCCA)
+		return
+	}
+	n.burst(k)
+}
+
+// burst is the data transmission: it starts an ack timeout, the ack
+// that will beat it, and re-arms the far-future sync watchdog (a
+// cancel+schedule pair that keeps one event per node in the overflow
+// spill, the way a lost-beacon deadline does).
+func (n *benchNode) burst(k *sim.Kernel) {
 	n.ackID = k.Schedule(2*sim.Millisecond, n.onTimeout)
 	k.Schedule(sim.Millisecond, n.onAck)
 	if n.watchdogID != 0 && k.Cancel(n.watchdogID) {

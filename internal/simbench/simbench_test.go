@@ -50,3 +50,31 @@ func TestReferenceExercisesPool(t *testing.T) {
 		t.Fatalf("pending at horizon = %d, want %d watchdogs", got, cfg.Nodes)
 	}
 }
+
+// TestCSMAReference pins the contention-shaped workload: CCA hops in
+// proportion to the bursts, identical results on both schedulers and
+// across reruns, and the TDMA shape untouched by the extension.
+func TestCSMAReference(t *testing.T) {
+	cfg := CSMAReference()
+	cfg.Duration = 5 * sim.Second
+	wheel := Run(sim.NewKernel(1), cfg)
+	heap := Run(sim.NewHeapKernel(1), cfg)
+	if wheel != heap {
+		t.Fatalf("workload diverges across schedulers:\nwheel: %+v\nheap:  %+v", wheel, heap)
+	}
+	if wheel.CCASamples == 0 {
+		t.Fatalf("contention shape performed no channel assessments: %+v", wheel)
+	}
+	if wheel.Timeouts != 0 {
+		t.Fatalf("%d ack timeouts fired; every ack should cancel its timeout", wheel.Timeouts)
+	}
+	if again := Run(sim.NewKernel(1), cfg); again != wheel {
+		t.Fatalf("workload not reproducible: %+v vs %+v", again, wheel)
+	}
+
+	tdma := Reference()
+	tdma.Duration = 5 * sim.Second
+	if res := Run(sim.NewKernel(1), tdma); res.CCASamples != 0 {
+		t.Fatalf("TDMA shape performed %d channel assessments", res.CCASamples)
+	}
+}

@@ -32,11 +32,12 @@ import (
 const AuditEvery = 50 * sim.Millisecond
 
 // Generate derives one chaos scenario from seed. The draw covers the
-// axes that have historically interacted badly: both TDMA variants and
-// schedulers, every application, clock drift, lossy and bursty
-// channels, crash/blackout/interference faults, slot reclamation, and
-// scaled-down batteries with and without graceful degradation. Equal
-// seeds produce equal configs.
+// axes that have historically interacted badly: every registered MAC
+// protocol (with off-default tuning half the time) and both schedulers,
+// every application, clock drift, lossy and bursty channels,
+// crash/blackout/interference faults, slot reclamation, and scaled-down
+// batteries with and without graceful degradation. Equal seeds produce
+// equal configs.
 func Generate(seed int64) core.Config {
 	r := rand.New(rand.NewSource(seed))
 	cfg := core.Config{
@@ -47,11 +48,28 @@ func Generate(seed int64) core.Config {
 		Metrics:  true,
 		Audit:    &audit.Config{Every: AuditEvery},
 	}
-	if r.Intn(2) == 0 {
+	protos := mac.Protocols()
+	switch cfg.Protocol = protos[r.Intn(len(protos))]; cfg.Protocol {
+	case mac.ProtoStatic:
 		cfg.Variant = mac.Static
 		cfg.Cycle = sim.Time(20+r.Intn(21)) * sim.Millisecond
-	} else {
+	case mac.ProtoDynamic:
 		cfg.Variant = mac.Dynamic
+	case mac.ProtoCSMA:
+		if r.Intn(2) == 0 {
+			minBE := 1 + r.Intn(3)
+			cfg.MACParams = mac.Params{
+				MinBE:       minBE,
+				MaxBE:       minBE + 1 + r.Intn(3),
+				MaxBackoffs: 2 + r.Intn(5),
+			}
+		}
+	case mac.ProtoLPL:
+		if r.Intn(2) == 0 {
+			cfg.MACParams = mac.Params{
+				CheckInterval: sim.Time(50+r.Intn(151)) * sim.Millisecond,
+			}
+		}
 	}
 	switch r.Intn(4) {
 	case 0:
@@ -232,9 +250,11 @@ const minDuration = 500 * sim.Millisecond
 // Shrink greedily reduces cfg while eval keeps reproducing want's
 // failure signature, and returns the smallest accepted config. The pass
 // order is fixed — drop faults, drop nodes, zero drift, clean the
-// channel, remove the battery, disable reclamation, halve the duration
-// — and each pass re-runs until the whole sweep reaches a fixpoint, so
-// the result is deterministic in (cfg, eval, want).
+// channel, remove the battery, disable reclamation, reset MAC tuning to
+// protocol defaults, halve the duration — and each pass re-runs until
+// the whole sweep reaches a fixpoint, so the result is deterministic in
+// (cfg, eval, want). The MAC protocol itself is never changed: a
+// reproducer must fail the same MAC it was found on.
 func Shrink(cfg core.Config, eval func(core.Config) *Failure, want *Failure) core.Config {
 	if want == nil {
 		return cfg
@@ -287,6 +307,13 @@ func Shrink(cfg core.Config, eval func(core.Config) *Failure, want *Failure) cor
 		if cur.SlotReclaimCycles != 0 {
 			cand := cur
 			cand.SlotReclaimCycles = 0
+			if keeps(cand) {
+				cur, changed = cand, true
+			}
+		}
+		if cur.MACParams != (mac.Params{}) {
+			cand := cur
+			cand.MACParams = mac.Params{}
 			if keeps(cand) {
 				cur, changed = cand, true
 			}

@@ -23,6 +23,8 @@ func TestGenerateDeterministic(t *testing.T) {
 // requires every draw to pass core validation — the soak harness must
 // never waste a run on a config the simulator rejects.
 func TestGenerateValid(t *testing.T) {
+	protos := map[mac.Protocol]int{}
+	tuned := 0
 	for seed := int64(1); seed <= 500; seed++ {
 		cfg := Generate(seed)
 		if err := cfg.Validate(); err != nil {
@@ -31,6 +33,20 @@ func TestGenerateValid(t *testing.T) {
 		if cfg.Audit == nil {
 			t.Fatalf("seed %d: generated config has audits off", seed)
 		}
+		protos[cfg.Protocol]++
+		if cfg.MACParams != (mac.Params{}) {
+			tuned++
+		}
+	}
+	// The MAC axis must exercise every registered protocol, including
+	// off-default tuning draws.
+	for _, p := range mac.Protocols() {
+		if protos[p] == 0 {
+			t.Fatalf("500 seeds never drew protocol %q: %v", p, protos)
+		}
+	}
+	if tuned == 0 {
+		t.Fatal("500 seeds never drew off-default MAC tuning")
 	}
 }
 
@@ -136,6 +152,44 @@ func TestShrinkKeepsReferencedNodes(t *testing.T) {
 	got := Shrink(cfg, eval, want)
 	if got.Nodes != 3 {
 		t.Fatalf("node 3 removed while its crash fault survived: %+v", got)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("shrunk config invalid: %v", err)
+	}
+}
+
+// TestShrinkPreservesMACChoice pins the MAC contract: shrinking may
+// reset tuning parameters to protocol defaults, but the protocol a
+// failure was found on must survive into the reproducer.
+func TestShrinkPreservesMACChoice(t *testing.T) {
+	cfg := core.Config{
+		Protocol:  mac.ProtoCSMA,
+		MACParams: mac.Params{MinBE: 2, MaxBE: 6, MaxBackoffs: 4},
+		Nodes:     3,
+		App:       core.AppRpeak,
+		Duration:  4 * sim.Second,
+		Warmup:    sim.Second,
+		BER:       1e-4,
+		Faults: []fault.Fault{
+			{Kind: fault.KindCrash, Node: 1, At: 1200 * sim.Millisecond},
+		},
+	}
+	want := &Failure{Kind: "audit", Invariant: "synthetic"}
+	eval := func(c core.Config) *Failure {
+		if c.Protocol != mac.ProtoCSMA {
+			t.Fatalf("shrinker changed the MAC protocol to %q", c.Protocol)
+		}
+		if len(c.Faults) > 0 {
+			return &Failure{Kind: "audit", Invariant: "synthetic"}
+		}
+		return nil
+	}
+	got := Shrink(cfg, eval, want)
+	if got.Protocol != mac.ProtoCSMA {
+		t.Fatalf("reproducer lost the MAC protocol: %+v", got)
+	}
+	if got.MACParams != (mac.Params{}) {
+		t.Fatalf("irrelevant MAC tuning survived: %+v", got.MACParams)
 	}
 	if err := got.Validate(); err != nil {
 		t.Fatalf("shrunk config invalid: %v", err)
