@@ -1,14 +1,19 @@
 // Command banlint is the repo's determinism/fault-safety/unit linter:
-// a multichecker over the five repo-specific analyzers (nodeterm,
-// maporder, eventgen, floateq, unitconst). It exits non-zero when any
-// unsuppressed diagnostic survives, which is what gates `make ci`.
+// a multichecker over the eight repo-specific analyzers — five
+// per-package (eventgen, floateq, maporder, nodeterm, unitconst) and
+// three whole-program passes over the static call graph (exhaustcap,
+// hotalloc, nodetaint). It exits non-zero when any unsuppressed
+// diagnostic survives, which is what gates `make ci`.
 //
 // Usage:
 //
-//	banlint [-q] [pattern ...]
+//	banlint [-q] [-json] [pattern ...]
 //
-// Patterns default to ./... (the whole module). Waive a finding with a
-// justified comment on or directly above the offending line:
+// Patterns default to ./... (the whole module). -json renders findings
+// as a JSON array of {file, line, col, analyzer, message} rows for
+// tooling. Waive a finding with a justified comment on or directly
+// above the offending line (or in the declaration's doc comment, which
+// covers the whole declaration):
 //
 //	//lint:allow <analyzer> <reason>
 package main
@@ -25,6 +30,7 @@ import (
 func main() {
 	quiet := flag.Bool("q", false, "suppress the summary line, print diagnostics only")
 	describe := flag.Bool("describe", false, "list the analyzers and the invariants they guard, then exit")
+	jsonOut := flag.Bool("json", false, "render findings as a JSON array instead of text (implies -q)")
 	flag.Parse()
 
 	if *describe {
@@ -39,12 +45,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "banlint:", err)
 		os.Exit(2)
 	}
-	res, err := banlint.Run(moduleDir, flag.Args(), os.Stdout)
+	res, err := banlint.RunOpts(moduleDir, flag.Args(), os.Stdout, banlint.Options{JSON: *jsonOut})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "banlint:", err)
 		os.Exit(2)
 	}
-	if !*quiet {
+	if !*quiet && !*jsonOut {
 		fmt.Printf("banlint: %d packages, %d diagnostics, %d waived\n",
 			res.Packages, res.Diagnostics, res.Waived)
 	}

@@ -11,6 +11,8 @@ import (
 // machine. Levels are ordered: a draining battery only ever moves to a
 // higher level (state of charge is monotonically non-increasing), so
 // the runtime never has to undo a degradation action.
+//
+//lint:exhaustive
 type Level int
 
 const (

@@ -261,6 +261,7 @@ func (c *Channel) BeginTx(from Transceiver, image []byte, airtime sim.Time) {
 		tx = c.txPool[n-1]
 		c.txPool = c.txPool[:n-1]
 	} else {
+		//lint:allow hotalloc pool-miss growth only; steady state recycles transmissions through txPool
 		tx = &transmission{}
 	}
 	tx.from = from
@@ -290,6 +291,7 @@ func (c *Channel) BeginTx(from Transceiver, image []byte, airtime sim.Time) {
 	c.active = append(c.active, tx)
 	c.stats.Transmissions++
 
+	//lint:allow hotalloc the end-of-frame closure is the kernel handler ABI: one bounded allocation per transmission
 	c.k.ScheduleAt(tx.end, func(*sim.Kernel) { c.finishTx(tx) })
 }
 
@@ -369,8 +371,8 @@ func (c *Channel) finishTx(tx *transmission) {
 // lives in the channel's scratch buffer and is only valid until the
 // next corruptCopy call; receivers take their own copy inside Deliver.
 func (c *Channel) corruptCopy(image []byte) []byte {
-	out := append(c.corruptBuf[:0], image...)
-	c.corruptBuf = out
+	c.corruptBuf = append(c.corruptBuf[:0], image...)
+	out := c.corruptBuf
 	flips := 1 + c.k.Rand().Intn(3)
 	var flipped [3]int
 	for i := 0; i < flips; i++ {

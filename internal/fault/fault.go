@@ -23,6 +23,8 @@ import (
 )
 
 // Kind names a fault type.
+//
+//lint:exhaustive
 type Kind string
 
 const (
@@ -295,6 +297,11 @@ func (inj *Injector) Install(faults []Fault) {
 			inj.installBlackout(i, f)
 		case KindInterference:
 			inj.installInterference(i, f)
+		case KindBrownout:
+			// Emergent only: ValidateSchedule rejects brownout entries,
+			// so one arriving here means the schedule bypassed
+			// validation — fail loudly instead of silently ignoring it.
+			panic("fault: brownout faults are emergent, not schedulable; run ValidateSchedule")
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"go/ast"
 	"go/token"
 	"regexp"
 	"strconv"
@@ -11,10 +12,14 @@ import (
 //
 //	//lint:allow <analyzer> <reason>
 //
-// waives diagnostics from the named analyzer on the comment's own line
-// and on the line directly below it, so it can sit either at the end of
-// the offending line or on its own line immediately above. The reason
-// is mandatory — a waiver without a recorded justification is itself a
+// waives diagnostics from the named analyzer. A line comment (or a
+// single-line /* block */ comment) grants its own line and the line
+// directly below it, so it can sit at the end of the offending line or
+// on its own line immediately above. A waiver inside a declaration's
+// doc comment covers the whole declaration — the form interprocedural
+// findings (a hot-path closure, a tainted helper) need, since their
+// positions land anywhere inside a function body. The reason is
+// mandatory — a waiver without a recorded justification is itself a
 // diagnostic, because an unexplained suppression is exactly the silent
 // invariant erosion banlint exists to stop.
 var allowRe = regexp.MustCompile(`^lint:allow\s+([A-Za-z][A-Za-z0-9_]*)\s*(.*)$`)
@@ -26,6 +31,30 @@ type allowedLine struct {
 	line     int
 }
 
+// allowText extracts the "lint:allow ..." directive from a comment's
+// raw text, handling both //-comments and /* */-comments. The second
+// result is false when the comment is not a waiver at all.
+func allowText(raw string) (string, bool) {
+	var text string
+	switch {
+	case strings.HasPrefix(raw, "//"):
+		text = strings.TrimPrefix(raw, "//")
+	case strings.HasPrefix(raw, "/*"):
+		text = strings.TrimSuffix(strings.TrimPrefix(raw, "/*"), "*/")
+		// A block comment may span lines; the directive must open it.
+		text = strings.TrimSpace(text)
+		if i := strings.IndexByte(text, '\n'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+	default:
+		return "", false
+	}
+	if !strings.HasPrefix(text, "lint:allow") {
+		return "", false
+	}
+	return text, true
+}
+
 // CollectAllows scans the package's comments for //lint:allow waivers.
 // known maps analyzer names that exist; a waiver naming an unknown
 // analyzer or lacking a reason is returned as a malformed-waiver
@@ -34,11 +63,43 @@ type allowedLine struct {
 func CollectAllows(pkg *Package, known map[string]bool) (map[allowedLine]bool, []Diagnostic) {
 	grants := make(map[allowedLine]bool)
 	var bad []Diagnostic
+	// docRanges maps each comment group that serves as a declaration's
+	// doc comment to the declaration's full line range, so a doc-group
+	// waiver covers everything the declaration spans.
+	docRanges := make(map[*ast.CommentGroup][2]int)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var doc *ast.CommentGroup
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			case *ast.TypeSpec:
+				doc = d.Doc
+			case *ast.ValueSpec:
+				doc = d.Doc
+			case *ast.Field:
+				doc = d.Doc
+			}
+			if doc != nil {
+				start := pkg.Fset.Position(n.Pos()).Line
+				end := pkg.Fset.Position(n.End()).Line
+				docRanges[doc] = [2]int{start, end}
+			}
+			return true
+		})
+	}
+	grant := func(analyzer, file string, from, to int) {
+		for line := from; line <= to; line++ {
+			grants[allowedLine{analyzer, file, line}] = true
+		}
+	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				if !strings.HasPrefix(text, "lint:allow") {
+				text, isAllow := allowText(c.Text)
+				if !isAllow {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
@@ -54,8 +115,10 @@ func CollectAllows(pkg *Package, known map[string]bool) (map[allowedLine]bool, [
 					bad = append(bad, Diagnostic{Pos: c.Pos(), Analyzer: "banlint",
 						Message: "waiver for " + m[1] + " has no reason; justify the suppression"})
 				default:
-					grants[allowedLine{m[1], pos.Filename, pos.Line}] = true
-					grants[allowedLine{m[1], pos.Filename, pos.Line + 1}] = true
+					grant(m[1], pos.Filename, pos.Line, pos.Line+1)
+					if r, ok := docRanges[cg]; ok {
+						grant(m[1], pos.Filename, r[0], r[1])
+					}
 				}
 			}
 		}
@@ -75,6 +138,19 @@ func Suppress(fset *token.FileSet, diags []Diagnostic, grants map[allowedLine]bo
 		kept = append(kept, d)
 	}
 	return kept, waived
+}
+
+// MergeGrants folds the grants of several packages into one map, for
+// program-level suppression where a diagnostic may land in any loaded
+// package.
+func MergeGrants(dst, src map[allowedLine]bool) map[allowedLine]bool {
+	if dst == nil {
+		dst = make(map[allowedLine]bool)
+	}
+	for k := range src {
+		dst[k] = true
+	}
+	return dst
 }
 
 // PosString renders a diagnostic position as path:line:col relative to

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// The waiver collector must honor block comments and doc groups (a doc
+// waiver covers the whole declaration), and reject malformed waivers.
+func TestCollectAllows(t *testing.T) {
+	l, err := NewLoader("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.FixtureDir = "testdata"
+	pkg, err := l.LoadPackage("allowfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{"maporder": true, "nodeterm": true, "floateq": true}
+	grants, bad := CollectAllows(pkg, known)
+
+	file := pkg.Fset.Position(pkg.Files[0].Pos()).Filename
+	has := func(analyzer string, line int) bool {
+		return grants[allowedLine{analyzer, file, line}]
+	}
+
+	// Single-line block comment: grants its own line and the next.
+	if !has("maporder", 6) {
+		t.Error("block-comment waiver did not grant the following line")
+	}
+	// Doc-group waiver: covers the whole declaration, including lines
+	// deep inside the body that the line rule alone would miss.
+	for line := 12; line <= 16; line++ {
+		if !has("nodeterm", line) {
+			t.Errorf("doc-group waiver did not cover declaration line %d", line)
+		}
+	}
+	// Multiline block comment whose opening line is the directive.
+	if !has("floateq", 20) {
+		t.Error("multiline block waiver did not grant the declaration line")
+	}
+	// A reason-less waiver grants nothing.
+	if has("maporder", 26) {
+		t.Error("waiver without a reason was granted")
+	}
+	// A directive buried past a block comment's first line is not a waiver.
+	for line := 28; line <= 32; line++ {
+		if has("maporder", line) {
+			t.Errorf("buried block-comment directive was granted on line %d", line)
+		}
+	}
+
+	if len(bad) != 2 {
+		t.Fatalf("got %d malformed-waiver diagnostics, want 2: %v", len(bad), bad)
+	}
+	if !strings.Contains(bad[0].Message, "unknown analyzer nope") {
+		t.Errorf("bad[0] = %q, want unknown-analyzer complaint", bad[0].Message)
+	}
+	if !strings.Contains(bad[1].Message, "no reason") {
+		t.Errorf("bad[1] = %q, want missing-reason complaint", bad[1].Message)
+	}
+}

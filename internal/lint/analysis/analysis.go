@@ -32,7 +32,14 @@ type Analyzer struct {
 	// Run performs the check on one package and reports findings
 	// through pass.Report. A non-nil error aborts the whole run (it
 	// means the analyzer itself failed, not that the code is bad).
+	// Nil for program-level analyzers.
 	Run func(pass *Pass) error
+	// RunProgram, when set, performs a whole-program check after every
+	// selected package has been loaded: interprocedural analyzers
+	// (call-graph taint, hot-path allocation closure, cross-package
+	// exhaustiveness) live here. An analyzer sets Run, RunProgram, or
+	// both.
+	RunProgram func(pass *ProgramPass) error
 }
 
 // Diagnostic is one finding, positioned inside pass.Fset.
@@ -75,6 +82,9 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue // program-level only; see RunWhole
+		}
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,

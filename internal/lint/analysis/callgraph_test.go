@@ -1,0 +1,156 @@
+package analysis
+
+import "testing"
+
+func buildFixtureGraph(t *testing.T) *CallGraph {
+	t.Helper()
+	l, err := NewLoader("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.FixtureDir = "testdata"
+	pkg, err := l.LoadPackage("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildCallGraph([]*Package{pkg})
+}
+
+// nodeByName resolves a node through its diagnostic rendering; external
+// leaves (strings.TrimSpace) are reachable this way too.
+func nodeByName(t *testing.T, g *CallGraph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Funcs() {
+		if n.Name() == name {
+			return n
+		}
+		for _, e := range n.Out {
+			if e.Callee.Name() == name {
+				return e.Callee
+			}
+		}
+	}
+	t.Fatalf("node %q not found", name)
+	return nil
+}
+
+func edgeBetween(from, to *Node) *Edge {
+	for _, e := range from.Out {
+		if e.Callee == to {
+			return e
+		}
+	}
+	return nil
+}
+
+func TestStaticEdges(t *testing.T) {
+	g := buildFixtureGraph(t)
+	a, b, c := nodeByName(t, g, "cg.A"), nodeByName(t, g, "cg.B"), nodeByName(t, g, "cg.C")
+	for _, pair := range [][2]*Node{{a, b}, {b, c}, {b, a}} {
+		e := edgeBetween(pair[0], pair[1])
+		if e == nil || e.Kind != EdgeStatic {
+			t.Errorf("missing static edge %s -> %s", pair[0].Name(), pair[1].Name())
+		}
+	}
+	trim := nodeByName(t, g, "strings.TrimSpace")
+	if trim.Local() {
+		t.Error("strings.TrimSpace should be an external leaf")
+	}
+	if edgeBetween(c, trim) == nil {
+		t.Error("missing edge cg.C -> strings.TrimSpace")
+	}
+}
+
+func TestInterfaceEdge(t *testing.T) {
+	g := buildFixtureGraph(t)
+	call := nodeByName(t, g, "cg.CallIface")
+	m := nodeByName(t, g, "(T).M")
+	e := edgeBetween(call, m)
+	if e == nil {
+		t.Fatal("interface dispatch CallIface -> (T).M not resolved")
+	}
+	if e.Kind != EdgeInterface {
+		t.Errorf("edge kind = %v, want EdgeInterface", e.Kind)
+	}
+}
+
+func TestRefEdge(t *testing.T) {
+	g := buildFixtureGraph(t)
+	ref := nodeByName(t, g, "cg.Ref")
+	a := nodeByName(t, g, "cg.A")
+	e := edgeBetween(ref, a)
+	if e == nil {
+		t.Fatal("function reference Ref -> A not recorded")
+	}
+	if e.Kind != EdgeRef {
+		t.Errorf("edge kind = %v, want EdgeRef", e.Kind)
+	}
+	// Call-only reachability must not follow the reference...
+	hot := g.ReachableFrom([]*Node{ref}, EdgeStatic, EdgeInterface)
+	if hot[a] {
+		t.Error("ReachableFrom(static, interface) followed a ref edge")
+	}
+	// ...while the unrestricted walk does.
+	all := g.ReachableFrom([]*Node{ref})
+	if !all[a] {
+		t.Error("ReachableFrom(all kinds) missed the ref edge")
+	}
+}
+
+func TestFuncLitAttribution(t *testing.T) {
+	g := buildFixtureGraph(t)
+	lit := nodeByName(t, g, "cg.Lit")
+	c := nodeByName(t, g, "cg.C")
+	if edgeBetween(lit, c) == nil {
+		t.Error("call inside a function literal not attributed to the enclosing declaration")
+	}
+}
+
+func TestCondense(t *testing.T) {
+	g := buildFixtureGraph(t)
+	sccs := g.Condense()
+	index := make(map[*Node]int)
+	for i, scc := range sccs {
+		for _, n := range scc.Nodes {
+			index[n] = i
+		}
+	}
+	a, b, c := nodeByName(t, g, "cg.A"), nodeByName(t, g, "cg.B"), nodeByName(t, g, "cg.C")
+	if index[a] != index[b] {
+		t.Errorf("A and B are mutually recursive, want same SCC (got %d, %d)", index[a], index[b])
+	}
+	if index[a] == index[c] {
+		t.Error("C is not part of the A<->B cycle, want separate SCC")
+	}
+	// Reverse topological: a callee's SCC comes before its caller's.
+	if index[c] > index[a] {
+		t.Errorf("SCC order not reverse-topological: callee C at %d after caller A at %d", index[c], index[a])
+	}
+}
+
+func TestReachesAnyAndPathTo(t *testing.T) {
+	g := buildFixtureGraph(t)
+	trim := nodeByName(t, g, "strings.TrimSpace")
+	tainted := g.ReachesAny([]*Node{trim})
+	for _, name := range []string{"cg.A", "cg.B", "cg.C", "cg.Lit", "(T).M", "cg.CallIface"} {
+		if !tainted[nodeByName(t, g, name)] {
+			t.Errorf("%s reaches strings.TrimSpace but was not marked", name)
+		}
+	}
+	// Ref only references A as a value; taint must flow through ref
+	// edges too — handing out a tainted function is as bad as calling it.
+	if !tainted[nodeByName(t, g, "cg.Ref")] {
+		t.Error("taint did not propagate through a ref edge")
+	}
+	a := nodeByName(t, g, "cg.A")
+	path := g.PathTo(a, map[*Node]bool{trim: true})
+	want := []string{"cg.A", "cg.B", "cg.C", "strings.TrimSpace"}
+	if len(path) != len(want) {
+		t.Fatalf("path length = %d, want %d", len(path), len(want))
+	}
+	for i, n := range path {
+		if n.Name() != want[i] {
+			t.Errorf("path[%d] = %s, want %s", i, n.Name(), want[i])
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -213,6 +214,20 @@ func (l *Loader) load(path string) (*types.Package, error) {
 		l.local[path] = &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
 	}
 	return tpkg, nil
+}
+
+// Locals returns every local (module or fixture) package loaded so
+// far, in no particular order: the analysis targets plus any in-module
+// dependency reached while importing them. Whole-program analyses use
+// this as their universe.
+func (l *Loader) Locals() []*Package {
+	l.init()
+	out := make([]*Package, 0, len(l.local))
+	for _, pkg := range l.local {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }
 
 // isLocal reports whether path belongs to the module or a fixture tree

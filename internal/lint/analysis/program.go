@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Program is the whole-program view the interprocedural analyzers run
+// over: every package the loader retained (the selected analysis
+// targets plus any module/fixture dependency reached while loading
+// them), sharing one FileSet and one type universe. The call graph is
+// built on first use and shared between analyzers, so a multichecker
+// run resolves the module's call edges exactly once.
+type Program struct {
+	Fset *token.FileSet
+	// Packages are the analysis targets in sorted import-path order —
+	// the packages the user selected, whose syntax program analyzers
+	// should treat as the reporting surface.
+	Packages []*Package
+
+	all []*Package
+	cg  *CallGraph
+}
+
+// NewProgram assembles the program view after the loader has loaded
+// every selected package. selected must all come from loader.
+func NewProgram(loader *Loader, selected []*Package) *Program {
+	all := loader.Locals()
+	sort.Slice(all, func(i, j int) bool { return all[i].Path < all[j].Path })
+	return &Program{Fset: loader.Fset, Packages: selected, all: all}
+}
+
+// All returns every local (module or fixture) package the loader
+// retained, sorted by import path: the selected targets plus their
+// in-module dependencies. Interprocedural analyses walk this set so a
+// transitive callee outside the selected patterns is still seen.
+func (p *Program) All() []*Package { return p.all }
+
+// CallGraph builds (once) and returns the program's call graph.
+func (p *Program) CallGraph() *CallGraph {
+	if p.cg == nil {
+		p.cg = BuildCallGraph(p.all)
+	}
+	return p.cg
+}
+
+// ProgramPass carries the whole program through one program-level
+// analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags *[]Diagnostic
+}
+
+// Report records a finding.
+func (p *ProgramPass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	*p.diags = append(*p.diags, d)
+}
+
+// Reportf records a finding at pos with a formatted message.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// RunWhole applies every program-level analyzer (those with RunProgram
+// set) to the program and returns the raw diagnostics sorted by
+// position. Per-package analyzers are ignored here; Run handles them.
+func RunWhole(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		pass := &ProgramPass{Analyzer: a, Prog: prog, diags: &diags}
+		if err := a.RunProgram(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzing program: %w", a.Name, err)
+		}
+	}
+	SortDiagnostics(prog.Fset, diags)
+	return diags, nil
+}

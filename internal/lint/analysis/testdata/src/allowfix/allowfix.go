@@ -1,0 +1,34 @@
+// Fixture for waiver collection: block-comment waivers, doc-group
+// waivers covering whole declarations, and the malformed shapes.
+package allowfix
+
+/* lint:allow maporder single-line block waiver */
+var m = map[string]int{"a": 1}
+
+// F's doc group carries a waiver, so the grant covers the whole
+// declaration, not just the line below the comment.
+//
+//lint:allow nodeterm covers the whole declaration
+func F() int {
+	x := 1
+	x++
+	return x
+}
+
+/* lint:allow floateq multiline block waiver opening line
+trailing commentary on later lines is ignored */
+var c = 1.0
+
+//lint:allow nope unknown analyzer
+var d = 2
+
+//lint:allow maporder
+var e = 3
+
+/*
+plain block comment; a directive not on the opening line
+lint:allow maporder is not a waiver
+*/
+var g = 4
+
+var _ = []interface{}{m, c, d, e, g}

@@ -1,0 +1,30 @@
+// Fixture for the call-graph unit tests: a mutually recursive pair, an
+// external leaf, an interface dispatch, a function reference, and a
+// function literal attributed to its enclosing declaration.
+package cg
+
+import "strings"
+
+func A() { B() }
+
+func B() {
+	C()
+	A()
+}
+
+func C() int { return len(strings.TrimSpace("x")) }
+
+type I interface{ M() }
+
+type T struct{}
+
+func (T) M() { C() }
+
+func CallIface(i I) { i.M() }
+
+func Ref() func() { return A }
+
+func Lit() {
+	f := func() { C() }
+	f()
+}

@@ -14,6 +14,7 @@ package analysistest
 
 import (
 	"go/token"
+	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
@@ -56,6 +57,57 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 		}
 		kept, _ := analysis.Suppress(pkg.Fset, diags, grants)
 		check(t, pkg, a.Name, kept)
+	}
+}
+
+// RunProgram loads every fixture package into one program and applies
+// a program-level (interprocedural) analyzer once, comparing the
+// resulting diagnostics to // want expectations across all fixture
+// packages. Packages listed only to complete the program (helpers a
+// cone fixture calls into) carry their own wants — usually none.
+func RunProgram(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader, err := analysis.NewLoader("")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	loader.FixtureDir = testdata
+	var pkgs []*analysis.Package
+	for _, path := range pkgPaths {
+		pkg, err := loader.LoadPackage(path)
+		if err != nil {
+			t.Fatalf("loading fixture %q: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	prog := analysis.NewProgram(loader, pkgs)
+	diags, err := analysis.RunWhole(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	known := map[string]bool{a.Name: true}
+	merged, bad := analysis.CollectAllows(pkgs[0], known)
+	for _, d := range bad {
+		t.Errorf("%s: %s", analysis.PosString(pkgs[0].Fset, d.Pos, ""), d.Message)
+	}
+	for _, pkg := range pkgs[1:] {
+		g, bad := analysis.CollectAllows(pkg, known)
+		for _, d := range bad {
+			t.Errorf("%s: %s", analysis.PosString(pkg.Fset, d.Pos, ""), d.Message)
+		}
+		merged = analysis.MergeGrants(merged, g)
+	}
+	kept, _ := analysis.Suppress(loader.Fset, diags, merged)
+	// Partition diagnostics by directory so each package's wants see
+	// exactly the findings positioned in its own files.
+	for _, pkg := range pkgs {
+		var mine []analysis.Diagnostic
+		for _, d := range kept {
+			if filepath.Dir(loader.Fset.Position(d.Pos).Filename) == pkg.Dir {
+				mine = append(mine, d)
+			}
+		}
+		check(t, pkg, a.Name, mine)
 	}
 }
 

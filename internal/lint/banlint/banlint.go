@@ -1,11 +1,14 @@
 // Package banlint assembles the repo's analyzer suite into a
-// multichecker: it enumerates the module's packages, loads each one
-// from source, applies every analyzer, honours //lint:allow waivers and
-// renders the surviving diagnostics. cmd/banlint is the thin CLI over
-// this package; keeping the driver here makes it testable in-process.
+// multichecker: it enumerates the module's packages, loads every one
+// from source, applies the per-package analyzers, then builds the
+// whole-program call graph and applies the interprocedural analyzers,
+// honours //lint:allow waivers and renders the surviving diagnostics.
+// cmd/banlint is the thin CLI over this package; keeping the driver
+// here makes it testable in-process.
 package banlint
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"io/fs"
@@ -16,18 +19,26 @@ import (
 
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/eventgen"
+	"repro/internal/lint/exhaustcap"
 	"repro/internal/lint/floateq"
+	"repro/internal/lint/hotalloc"
 	"repro/internal/lint/maporder"
+	"repro/internal/lint/nodetaint"
 	"repro/internal/lint/nodeterm"
 	"repro/internal/lint/unitconst"
 )
 
-// Analyzers returns the full suite in stable (alphabetical) order.
+// Analyzers returns the full suite in stable (alphabetical) order:
+// five per-package analyzers and three whole-program ones (exhaustcap,
+// hotalloc, nodetaint).
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		eventgen.Analyzer,
+		exhaustcap.Analyzer,
 		floateq.Analyzer,
+		hotalloc.Analyzer,
 		maporder.Analyzer,
+		nodetaint.Analyzer,
 		nodeterm.Analyzer,
 		unitconst.Analyzer,
 	}
@@ -40,11 +51,33 @@ type Result struct {
 	Waived      int // findings silenced by //lint:allow
 }
 
+// Options selects the output rendering of a run.
+type Options struct {
+	// JSON renders findings as a JSON array of {file, line, col,
+	// analyzer, message} rows instead of the text form, for editor and
+	// tooling integration. An empty run renders as [].
+	JSON bool
+}
+
+// finding is one diagnostic in the machine-readable output.
+type finding struct {
+	File     string `json:"file"` // module-relative, forward slashes
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 // Run analyzes the packages selected by patterns inside the module
 // rooted at moduleDir, writing diagnostics to out. Patterns are either
 // "./..." (the whole module) or directory paths relative to the module
 // root ("./internal/sim", "internal/sim").
 func Run(moduleDir string, patterns []string, out io.Writer) (Result, error) {
+	return RunOpts(moduleDir, patterns, out, Options{})
+}
+
+// RunOpts is Run with output options.
+func RunOpts(moduleDir string, patterns []string, out io.Writer, opts Options) (Result, error) {
 	var res Result
 	loader, err := analysis.NewLoader(moduleDir)
 	if err != nil {
@@ -58,27 +91,77 @@ func Run(moduleDir string, patterns []string, out io.Writer) (Result, error) {
 	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
+
+	// Phase 1: load everything and run the per-package analyzers.
+	// Waiver grants are merged across packages because the program
+	// analyzers that follow may report a cone-side call site waived by
+	// a comment in the same file but collected per package.
+	var pkgs []*analysis.Package
+	var all []analysis.Diagnostic
+	grantSet := analysis.MergeGrants(nil, nil)
 	for _, path := range paths {
 		pkg, err := loader.LoadPackage(path)
 		if err != nil {
 			return res, err
 		}
+		pkgs = append(pkgs, pkg)
 		res.Packages++
 		diags, err := analysis.Run(pkg, Analyzers())
 		if err != nil {
 			return res, err
 		}
-		grants, malformed := analysis.CollectAllows(pkg, known)
-		kept, waived := analysis.Suppress(pkg.Fset, diags, grants)
-		kept = append(kept, malformed...)
-		analysis.SortDiagnostics(pkg.Fset, kept)
-		res.Waived += len(waived)
-		res.Diagnostics += len(kept)
+		all = append(all, diags...)
+		g, malformed := analysis.CollectAllows(pkg, known)
+		grantSet = analysis.MergeGrants(grantSet, g)
+		all = append(all, malformed...)
+	}
+
+	// Phase 2: whole-program analyzers over the call graph.
+	prog := analysis.NewProgram(loader, pkgs)
+	progDiags, err := analysis.RunWhole(prog, Analyzers())
+	if err != nil {
+		return res, err
+	}
+	all = append(all, progDiags...)
+
+	kept, waived := analysis.Suppress(loader.Fset, all, grantSet)
+	analysis.SortDiagnostics(loader.Fset, kept)
+	res.Waived = len(waived)
+	res.Diagnostics = len(kept)
+
+	if opts.JSON {
+		rows := make([]finding, 0, len(kept))
 		for _, d := range kept {
-			fmt.Fprintf(out, "%s: %s (%s)\n", analysis.PosString(pkg.Fset, d.Pos, moduleDir), d.Message, d.Analyzer)
+			pos := loader.Fset.Position(d.Pos)
+			rows = append(rows, finding{
+				File:     relPath(moduleDir, pos.Filename),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
 		}
+		enc := json.NewEncoder(out)
+		enc.SetEscapeHTML(false)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			return res, err
+		}
+		return res, nil
+	}
+	for _, d := range kept {
+		fmt.Fprintf(out, "%s: %s (%s)\n", analysis.PosString(loader.Fset, d.Pos, moduleDir), d.Message, d.Analyzer)
 	}
 	return res, nil
+}
+
+// relPath renders filename relative to the module root with forward
+// slashes, matching the text renderer's positions.
+func relPath(moduleDir, filename string) string {
+	if rel, ok := strings.CutPrefix(filename, strings.TrimSuffix(moduleDir, "/")+"/"); ok {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
 }
 
 // selectPackages maps patterns to module-relative import paths, sorted.

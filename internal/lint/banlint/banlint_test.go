@@ -2,8 +2,11 @@ package banlint
 
 import (
 	"bytes"
+	"flag"
+	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -20,14 +23,17 @@ func moduleRoot(t *testing.T) string {
 
 func TestRegistry(t *testing.T) {
 	as := Analyzers()
-	if len(as) != 5 {
-		t.Fatalf("suite has %d analyzers, want 5", len(as))
+	if len(as) != 8 {
+		t.Fatalf("suite has %d analyzers, want 8", len(as))
 	}
 	seen := make(map[string]bool)
 	prev := ""
 	for _, a := range as {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
-			t.Errorf("analyzer %+v missing name, doc or run", a)
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %+v missing name or doc", a)
+		}
+		if (a.Run == nil) == (a.RunProgram == nil) {
+			t.Errorf("analyzer %q must have exactly one of Run and RunProgram", a.Name)
 		}
 		if seen[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)
@@ -38,7 +44,10 @@ func TestRegistry(t *testing.T) {
 		}
 		prev = a.Name
 	}
-	for _, want := range []string{"eventgen", "floateq", "maporder", "nodeterm", "unitconst"} {
+	for _, want := range []string{
+		"eventgen", "exhaustcap", "floateq", "hotalloc",
+		"maporder", "nodetaint", "nodeterm", "unitconst",
+	} {
 		if !seen[want] {
 			t.Errorf("suite is missing analyzer %q", want)
 		}
@@ -84,5 +93,62 @@ func TestSelectPackagesUnknownDir(t *testing.T) {
 	root := moduleRoot(t)
 	if _, err := selectPackages(root, "repro", []string{"./no/such/dir"}); err == nil {
 		t.Fatal("selectPackages accepted a directory without Go files")
+	}
+}
+
+// update regenerates the JSON golden file when set:
+//
+//	go test ./internal/lint/banlint -run TestJSONGolden -update
+var update = flag.Bool("update", false, "rewrite golden files instead of comparing")
+
+// TestJSONGolden runs the full suite in JSON mode over a self-contained
+// fake module (testdata/jsonmod) with one nodeterm and one nodetaint
+// finding, and compares the rendered output byte-for-byte.
+func TestJSONGolden(t *testing.T) {
+	root := moduleRoot(t)
+	fakeMod := filepath.Join(root, "internal", "lint", "banlint", "testdata", "jsonmod")
+	golden := filepath.Join(root, "internal", "lint", "banlint", "testdata", "jsonmod.golden.json")
+
+	var out bytes.Buffer
+	res, err := RunOpts(fakeMod, nil, &out, Options{JSON: true})
+	if err != nil {
+		t.Fatalf("RunOpts: %v", err)
+	}
+	if res.Packages != 2 {
+		t.Errorf("Packages = %d, want 2", res.Packages)
+	}
+	if res.Diagnostics != 2 {
+		t.Errorf("Diagnostics = %d, want 2; output:\n%s", res.Diagnostics, out.String())
+	}
+
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("JSON output diverges from golden.\ngot:\n%s\nwant:\n%s", out.Bytes(), want)
+	}
+}
+
+// TestJSONEmpty checks that a clean run renders an empty JSON array,
+// not null — consumers index the result without a nil check.
+func TestJSONEmpty(t *testing.T) {
+	root := moduleRoot(t)
+	var out bytes.Buffer
+	res, err := RunOpts(root, []string{"./internal/approx"}, &out, Options{JSON: true})
+	if err != nil {
+		t.Fatalf("RunOpts: %v", err)
+	}
+	if res.Diagnostics != 0 {
+		t.Fatalf("Diagnostics = %d, want 0; output:\n%s", res.Diagnostics, out.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("empty run rendered %q, want []", got)
 	}
 }

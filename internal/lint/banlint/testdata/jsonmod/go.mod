@@ -1,0 +1,3 @@
+module jsonmod
+
+go 1.22

@@ -1,0 +1,17 @@
+// Package sim is a cone-side fixture for the banlint JSON golden test:
+// it carries one direct wall-clock read (nodeterm) and one reach
+// through a non-cone helper (nodetaint), so the golden file exercises
+// both a per-package and a whole-program analyzer plus the sort order.
+package sim
+
+import (
+	"time"
+
+	"jsonmod/util"
+)
+
+// Tick reads the wall clock directly and through a helper.
+func Tick() int64 {
+	direct := time.Now().UnixNano()
+	return direct + util.Stamp()
+}

@@ -1,0 +1,214 @@
+// Package exhaustcap enforces exhaustiveness over the repo's closed
+// enum types. A type declaration marked
+//
+//	//lint:exhaustive
+//
+// declares that its package-level constants form a closed set — MAC
+// protocol identifiers, kernel fault kinds, radio modes, battery
+// degradation levels. The analyzer then checks, across the whole
+// program, every
+//
+//   - switch over the marked type that has no default clause: it must
+//     carry a case for every declared constant (a default clause opts
+//     the switch out — it already decides what "everything else" means);
+//   - non-empty composite map literal keyed by the marked type: it must
+//     contain an entry for every declared constant (empty literals are
+//     registries filled at runtime and stay legal).
+//
+// This is what turns "add a fifth MAC protocol" from a silent
+// half-wired state into a build break: the dispatch switches and the
+// capability tables all fail lint until the new constant is handled.
+//
+// Coverage is tracked by constant value, not name: when two names
+// alias one value, naming either covers both.
+package exhaustcap
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustcap",
+	Doc: "require switches without default and non-empty map literals over types marked " +
+		"//lint:exhaustive to cover every declared constant of the type",
+	RunProgram: run,
+}
+
+// enum is one marked type with its declared constants in declaration
+// order.
+type enum struct {
+	display string // pkgname.Type, as written at a use site
+	consts  []*types.Const
+	values  map[string]bool // constant value strings declared for the type
+}
+
+func run(pass *analysis.ProgramPass) error {
+	enums := collectEnums(pass.Prog.All())
+	if len(enums) == 0 {
+		return nil
+	}
+	for _, pkg := range pass.Prog.Packages {
+		checkPackage(pass, pkg, enums)
+	}
+	return nil
+}
+
+// collectEnums finds //lint:exhaustive type declarations and the
+// package-level constants declared with each marked type, across every
+// package the program loaded (the marked type usually lives in a
+// dependency of the package being checked).
+func collectEnums(pkgs []*analysis.Package) map[*types.TypeName]*enum {
+	enums := make(map[*types.TypeName]*enum)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				declMarked := hasMark(gd.Doc)
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || (!declMarked && !hasMark(ts.Doc) && !hasMark(ts.Comment)) {
+						continue
+					}
+					tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					enums[tn] = &enum{
+						display: pkg.Types.Name() + "." + tn.Name(),
+						values:  make(map[string]bool),
+					}
+				}
+			}
+		}
+	}
+	if len(enums) == 0 {
+		return nil
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						c, ok := pkg.Info.Defs[name].(*types.Const)
+						if !ok || c.Name() == "_" {
+							continue
+						}
+						if e, ok := enums[typeNameOf(c.Type())]; ok {
+							e.consts = append(e.consts, c)
+							e.values[c.Val().String()] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return enums
+}
+
+func hasMark(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == "//lint:exhaustive" {
+			return true
+		}
+	}
+	return false
+}
+
+func typeNameOf(t types.Type) *types.TypeName {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+func checkPackage(pass *analysis.ProgramPass, pkg *analysis.Package, enums map[*types.TypeName]*enum) {
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SwitchStmt:
+				if x.Tag == nil {
+					return true
+				}
+				e, ok := enums[typeNameOf(info.TypeOf(x.Tag))]
+				if !ok {
+					return true
+				}
+				covered := make(map[string]bool)
+				for _, stmt := range x.Body.List {
+					cc := stmt.(*ast.CaseClause)
+					if cc.List == nil {
+						return true // a default clause opts the switch out
+					}
+					for _, expr := range cc.List {
+						if tv, ok := info.Types[expr]; ok && tv.Value != nil {
+							covered[tv.Value.String()] = true
+						}
+					}
+				}
+				if missing := e.missing(covered); missing != "" {
+					pass.Reportf(x.Pos(), "switch over %s has no default and is missing %s; %s is marked //lint:exhaustive — handle every constant or add a default",
+						e.display, missing, e.display)
+				}
+			case *ast.CompositeLit:
+				m, ok := info.TypeOf(x).Underlying().(*types.Map)
+				if !ok || len(x.Elts) == 0 {
+					return true
+				}
+				e, ok := enums[typeNameOf(m.Key())]
+				if !ok {
+					return true
+				}
+				covered := make(map[string]bool)
+				for _, elt := range x.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if tv, ok := info.Types[kv.Key]; ok && tv.Value != nil {
+						covered[tv.Value.String()] = true
+					}
+				}
+				if missing := e.missing(covered); missing != "" {
+					pass.Reportf(x.Pos(), "non-empty map literal keyed by %s is missing %s; %s is marked //lint:exhaustive — add the entry or build the map at runtime",
+						e.display, missing, e.display)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// missing renders the declared-but-uncovered constant names, or "" when
+// the use site is exhaustive.
+func (e *enum) missing(covered map[string]bool) string {
+	var names []string
+	seen := make(map[string]bool)
+	for _, c := range e.consts {
+		v := c.Val().String()
+		if covered[v] || seen[v] {
+			continue
+		}
+		seen[v] = true
+		names = append(names, c.Name())
+	}
+	return strings.Join(names, ", ")
+}

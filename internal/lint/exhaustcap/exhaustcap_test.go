@@ -1,0 +1,12 @@
+package exhaustcap_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/exhaustcap"
+)
+
+func TestExhaustcap(t *testing.T) {
+	analysistest.RunProgram(t, "testdata", exhaustcap.Analyzer, "enum", "use")
+}

@@ -1,0 +1,36 @@
+// Fixture: a closed enum in the style of mac.Protocol, plus an
+// unmarked type that stays out of scope.
+package enum
+
+// Color is a closed set.
+//
+//lint:exhaustive
+type Color int
+
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+// Crimson aliases Red: covering either name covers the value.
+const Crimson = Red
+
+// Shade is NOT marked; incomplete switches over it are fine.
+type Shade int
+
+const (
+	Light Shade = iota
+	Dark
+)
+
+// InPackage exercises the check in the defining package itself.
+func InPackage(c Color) int {
+	switch c { // want `switch over enum\.Color has no default and is missing Blue`
+	case Red:
+		return 0
+	case Green:
+		return 1
+	}
+	return -1
+}

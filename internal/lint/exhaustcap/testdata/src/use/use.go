@@ -1,0 +1,88 @@
+// Fixture: cross-package use sites of the marked enum.Color type —
+// the common shape, where the dispatch switch lives far from the
+// declaration it must track.
+package use
+
+import "enum"
+
+// Dispatch misses a constant and has no default.
+func Dispatch(c enum.Color) string {
+	switch c { // want `switch over enum\.Color has no default and is missing Green; enum\.Color is marked //lint:exhaustive`
+	case enum.Red:
+		return "red"
+	case enum.Blue:
+		return "blue"
+	}
+	return ""
+}
+
+// Complete covers everything: quiet.
+func Complete(c enum.Color) string {
+	switch c {
+	case enum.Red:
+		return "red"
+	case enum.Green:
+		return "green"
+	case enum.Blue:
+		return "blue"
+	}
+	return ""
+}
+
+// Defaulted opts out via default: quiet.
+func Defaulted(c enum.Color) string {
+	switch c {
+	case enum.Red:
+		return "red"
+	default:
+		return "other"
+	}
+}
+
+// Aliased covers Red through its alias name: quiet.
+func Aliased(c enum.Color) string {
+	switch c {
+	case enum.Crimson:
+		return "red"
+	case enum.Green:
+		return "green"
+	case enum.Blue:
+		return "blue"
+	}
+	return ""
+}
+
+// Unmarked switches over the unmarked type: quiet.
+func Unmarked(s enum.Shade) string {
+	switch s {
+	case enum.Light:
+		return "light"
+	}
+	return ""
+}
+
+// names is a non-empty capability-table literal missing an entry.
+var names = map[enum.Color]string{ // want `non-empty map literal keyed by enum\.Color is missing Blue`
+	enum.Red:   "red",
+	enum.Green: "green",
+}
+
+// full covers every constant: quiet.
+var full = map[enum.Color]string{
+	enum.Red:   "red",
+	enum.Green: "green",
+	enum.Blue:  "blue",
+}
+
+// registry is empty, filled at runtime: quiet.
+var registry = map[enum.Color]string{}
+
+// Waived shows the escape hatch.
+func Waived(c enum.Color) string {
+	//lint:allow exhaustcap fixture: demonstrating the waiver path
+	switch c {
+	case enum.Red:
+		return "red"
+	}
+	return ""
+}

@@ -1,0 +1,313 @@
+// Package hotalloc statically enforces the zero-allocation contract on
+// the simulator's hot path. A function whose doc comment carries a
+// line-comment marker
+//
+//	//hot:path
+//
+// declares that it (and everything it calls) runs on the per-event
+// steady-state path — the timer-wheel insert/fire loop, the event
+// pool, frame encode/decode, the radio TX/RX buffers. The analyzer
+// computes the transitive callee set of every marked root over the
+// program call graph (static and method-set-resolved interface edges)
+// and flags allocation sites inside it:
+//
+//   - make and new
+//   - &CompositeLit, and slice or map composite literals
+//   - append that does not write back to the slice it grows
+//     (x = append(x, ...), x = append(x[:k], ...) and return append(...)
+//     — the append-style API contract — are the sanctioned reuse idioms
+//     and stay legal)
+//   - calls passing arguments to a ...any variadic parameter (fmt-style
+//     interface boxing)
+//   - non-constant string concatenation and string<->[]byte conversions
+//   - function literals (closure environments escape) and method values
+//
+// Arguments of panic(...) are exempt: a hot-path invariant violation is
+// allowed to allocate on its way down. Callees outside the module
+// (stdlib) are not traversed — binary.BigEndian.AppendUint16 writing
+// into caller-provided capacity is exactly the idiom the hot path is
+// built from; this imprecision is documented in DESIGN.md.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid allocation sites (make/new/escaping literals/growing append/interface boxing/closures) " +
+		"in the transitive callee set of functions marked //hot:path",
+	RunProgram: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	cg := pass.Prog.CallGraph()
+
+	var roots []*analysis.Node
+	rootSet := make(map[*analysis.Node]bool)
+	for _, n := range cg.Funcs() {
+		if n.Local() && hasHotMark(n.Decl.Doc) {
+			roots = append(roots, n)
+			rootSet[n] = true
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	// Ref edges are excluded on purpose: storing a function in a table
+	// at init time does not put it on the per-event path.
+	hot := cg.ReachableFrom(roots, analysis.EdgeStatic, analysis.EdgeInterface)
+
+	selected := make(map[*analysis.Package]bool)
+	for _, pkg := range pass.Prog.Packages {
+		selected[pkg] = true
+	}
+	for _, n := range cg.Funcs() {
+		if !hot[n] || !n.Local() || !selected[n.Pkg] {
+			continue
+		}
+		checkBody(pass, n, chainFor(cg, roots, rootSet, n))
+	}
+	return nil
+}
+
+// hasHotMark reports whether a doc comment group contains a //hot:path
+// marker line.
+func hasHotMark(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == "//hot:path" {
+			return true
+		}
+	}
+	return false
+}
+
+// chainFor renders how n became hot: "marked //hot:path" for a root,
+// otherwise the shortest call chain from the first root that reaches
+// it, e.g. "hot via (*Wheel).Insert -> (*Wheel).grow".
+func chainFor(cg *analysis.CallGraph, roots []*analysis.Node, rootSet map[*analysis.Node]bool, n *analysis.Node) string {
+	if rootSet[n] {
+		return "marked //hot:path"
+	}
+	target := map[*analysis.Node]bool{n: true}
+	for _, root := range roots {
+		path := cg.PathTo(root, target, analysis.EdgeStatic, analysis.EdgeInterface)
+		if path == nil {
+			continue
+		}
+		parts := make([]string, len(path))
+		for i, p := range path {
+			parts[i] = p.Name()
+		}
+		return "hot via " + strings.Join(parts, " -> ")
+	}
+	return "hot"
+}
+
+// checkBody flags every allocation site in one hot function body.
+func checkBody(pass *analysis.ProgramPass, n *analysis.Node, chain string) {
+	info := n.Pkg.Info
+	body := n.Decl.Body
+	if body == nil {
+		return
+	}
+
+	// Positions that are the Fun of a call, so a method selector used
+	// as a call target is not mistaken for an escaping method value.
+	callFuns := make(map[ast.Expr]bool)
+	// Concat operands already covered by an enclosing flagged concat:
+	// a+b+c reports once at the outermost +.
+	covered := make(map[ast.Expr]bool)
+	// Append calls sanctioned by a reuse idiom: write-back assignment,
+	// or a direct return (the append-style API contract — the caller
+	// stores the extended slice back).
+	selfAppend := make(map[*ast.CallExpr]bool)
+
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			callFuns[ast.Unparen(x.Fun)] = true
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, rhs := range x.Rhs {
+					if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltin(info, call, "append") && isSelfAppend(x.Lhs[i], call) {
+						selfAppend[call] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && isBuiltin(info, call, "append") {
+					selfAppend[call] = true
+				}
+			}
+		}
+		return true
+	})
+
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s on the hot path (%s); //hot:path code must be allocation-free in steady state", what, chain)
+	}
+
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			fun := ast.Unparen(x.Fun)
+			if id, ok := fun.(*ast.Ident); ok {
+				switch {
+				case isBuiltinIdent(info, id, "panic"):
+					return false // invariant failures may allocate on the way down
+				case isBuiltinIdent(info, id, "make"):
+					report(x.Pos(), "make allocates")
+					return true
+				case isBuiltinIdent(info, id, "new"):
+					report(x.Pos(), "new allocates")
+					return true
+				case isBuiltinIdent(info, id, "append"):
+					if !selfAppend[x] {
+						report(x.Pos(), "append without write-back may grow a fresh backing array")
+					}
+					return true
+				}
+			}
+			if tv, ok := info.Types[fun]; ok && tv.IsType() {
+				if isStringByteConv(info, x) {
+					report(x.Pos(), "string<->[]byte conversion copies")
+				}
+				return true
+			}
+			if boxes(info, x) {
+				report(x.Pos(), "call boxes arguments into a ...any parameter")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					report(x.Pos(), "&composite literal escapes to the heap")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(x).Underlying().(type) {
+			case *types.Slice:
+				report(x.Pos(), "slice literal allocates a backing array")
+			case *types.Map:
+				report(x.Pos(), "map literal allocates")
+			}
+		case *ast.FuncLit:
+			report(x.Pos(), "function literal allocates its closure environment")
+			return false // the closure body is not itself on the per-event path we model
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && !covered[x] && isNonConstString(info, x) {
+				report(x.Pos(), "string concatenation allocates")
+				markConcatOperands(covered, x)
+			}
+		case *ast.SelectorExpr:
+			if !callFuns[x] {
+				if sel, ok := info.Selections[x]; ok && sel.Kind() == types.MethodVal {
+					report(x.Pos(), "method value allocates its receiver binding")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinIdent(info *types.Info, id *ast.Ident, name string) bool {
+	if id.Name != name {
+		return false
+	}
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && isBuiltinIdent(info, id, name)
+}
+
+// isSelfAppend recognises the sanctioned write-back reuse idioms:
+// x = append(x, ...), the reset-and-refill x = append(x[:0], ...), and
+// the element-removal x = append(x[:i], x[i+1:]...) — any append whose
+// destination re-slices the slice being assigned. Growth, where
+// possible at all, amortises into the retained backing array.
+func isSelfAppend(lhs ast.Expr, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	dst := types.ExprString(ast.Unparen(lhs))
+	arg := ast.Unparen(call.Args[0])
+	if types.ExprString(arg) == dst {
+		return true
+	}
+	if sl, ok := arg.(*ast.SliceExpr); ok {
+		return types.ExprString(ast.Unparen(sl.X)) == dst
+	}
+	return false
+}
+
+// boxes reports whether the call passes at least one argument into a
+// ...any (or other ...interface) variadic parameter without spreading
+// an existing slice.
+func boxes(info *types.Info, call *ast.CallExpr) bool {
+	if call.Ellipsis.IsValid() {
+		return false // spreading an existing []any does not box here
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || !sig.Variadic() {
+		return false
+	}
+	last := sig.Params().At(sig.Params().Len() - 1)
+	slice, ok := last.Type().(*types.Slice)
+	if !ok {
+		return false
+	}
+	if _, ok := slice.Elem().Underlying().(*types.Interface); !ok {
+		return false
+	}
+	return len(call.Args) >= sig.Params().Len()
+}
+
+func isStringByteConv(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	to := info.TypeOf(call.Fun)
+	from := info.TypeOf(call.Args[0])
+	return (isString(to) && isByteSlice(from)) || (isByteSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isNonConstString(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value == nil && isString(tv.Type)
+}
+
+func markConcatOperands(covered map[ast.Expr]bool, e *ast.BinaryExpr) {
+	for _, op := range []ast.Expr{ast.Unparen(e.X), ast.Unparen(e.Y)} {
+		if b, ok := op.(*ast.BinaryExpr); ok && b.Op == token.ADD {
+			covered[b] = true
+			markConcatOperands(covered, b)
+		}
+	}
+}

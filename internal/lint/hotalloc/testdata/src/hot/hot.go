@@ -1,0 +1,130 @@
+// Fixture: a miniature timer-wheel/event-pool shape. Insert is marked
+// //hot:path; its transitive callees must be allocation-free, and the
+// deliberately-allocating helpers below each trip one rule.
+package hot
+
+import "fmt"
+
+// Ring is a reusable buffer in the style of the wheel's slot slices.
+type Ring struct {
+	buf     []byte
+	slots   []int
+	scratch []int
+}
+
+// Insert is the steady-state entry point.
+//
+//hot:path
+func (r *Ring) Insert(v int) {
+	r.slots = append(r.slots, v) // self-append write-back: legal
+	r.reuse(v)
+	r.deep(v)
+}
+
+// reuse exercises every sanctioned zero-alloc idiom.
+func (r *Ring) reuse(v int) {
+	r.scratch = append(r.scratch[:0], v) // reset-and-refill: legal
+	if v > 0 && v < len(r.slots) {
+		r.slots = append(r.slots[:v], r.slots[v+1:]...) // removal idiom: legal
+	}
+	r.buf = encode(r.buf, byte(v))
+	r.buf = encodeDirect(r.buf, byte(v))
+	if v < 0 {
+		panic(fmt.Sprintf("negative slot %d", v)) // panic args exempt
+	}
+}
+
+// encode appends into caller-provided capacity, like the frame codec.
+func encode(dst []byte, b byte) []byte {
+	dst = append(dst, b) // self-append inside the callee: legal
+	return dst
+}
+
+// encodeDirect returns the append directly — the append-style API
+// contract; the caller performs the write-back. Legal.
+func encodeDirect(dst []byte, b byte) []byte {
+	return append(dst, b)
+}
+
+// deep is only hot transitively; the allocations are two calls in.
+func (r *Ring) deep(v int) {
+	leak(v)
+}
+
+func leak(v int) {
+	m := make([]int, v) // want `make allocates on the hot path \(hot via \(\*Ring\)\.Insert -> \(\*Ring\)\.deep -> hot\.leak\)`
+	_ = m
+	p := new(Ring) // want `new allocates on the hot path`
+	_ = p
+	q := &Ring{} // want `&composite literal escapes to the heap`
+	_ = q
+	s := []int{v} // want `slice literal allocates a backing array`
+	_ = s
+	t := map[int]int{v: v} // want `map literal allocates`
+	_ = t
+}
+
+// Grow is a second marked root that drops the write-back.
+//
+//hot:path
+func Grow(dst []byte, extra []byte) []byte {
+	tmp := append(extra, 0) // want `append without write-back may grow a fresh backing array`
+	return tmp
+}
+
+// Format is a marked root that boxes and concatenates.
+//
+//hot:path
+func Format(name string, v int) string {
+	s := fmt.Sprintf("%s=%d", name, v) // want `call boxes arguments into a \.\.\.any parameter`
+	u := name + s                      // want `string concatenation allocates`
+	b := []byte(u)                     // want `string<->\[\]byte conversion copies`
+	return string(b)                   // want `string<->\[\]byte conversion copies`
+}
+
+// Defer is a marked root that builds a closure and a method value.
+//
+//hot:path
+func Defer(r *Ring) func() {
+	f := r.Insert // want `method value allocates its receiver binding`
+	_ = f
+	return func() { r.Insert(0) } // want `function literal allocates its closure environment`
+}
+
+// Cold allocates freely: it is reachable from no //hot:path root, so
+// nothing here is flagged.
+func Cold(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Waived shows the escape hatch on a hot-path finding.
+//
+//hot:path
+func Waived(n int) []int {
+	//lint:allow hotalloc fixture: demonstrating the waiver path
+	return make([]int, n)
+}
+
+// WaivedDoc demonstrates a doc-group waiver: the grant covers the
+// whole declaration, so a finding deep inside the body is suppressed
+// without an inline comment at the allocation site.
+//
+//hot:path
+//lint:allow hotalloc fixture: doc-group waiver covers the whole body
+func WaivedDoc(n int) []int {
+	out := make([]int, n)
+	return out
+}
+
+// value struct literals stay on the stack and are legal on the hot path.
+type point struct{ x, y int }
+
+//hot:path
+func Mid(a, b point) point {
+	p := point{x: (a.x + b.x) / 2, y: (a.y + b.y) / 2}
+	return p
+}

@@ -1,0 +1,114 @@
+// Package nodetaint is the interprocedural half of the determinism
+// gate. The syntactic nodeterm analyzer flags direct calls to the
+// banned ambient-nondeterminism entry points (wall clock, global
+// math/rand, environment) inside the simulation cone; this analyzer
+// closes the laundering gap: a cone package calling an innocent-looking
+// helper outside the cone that itself — possibly several calls deep,
+// possibly through an interface method — reaches one of the banned
+// sinks. Taint propagates backwards from the sinks over the program
+// call graph (static edges, method-set-resolved interface edges, and
+// function references passed as values), and every cone call site whose
+// callee is tainted is reported with the full offending call chain.
+//
+// Findings inside the cone are nodeterm's job and are not re-reported
+// here: a tainted callee *inside* the cone already carries a direct
+// diagnostic at its own sink call.
+package nodetaint
+
+import (
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/nodeterm"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nodetaint",
+	Doc: "forbid cone call sites whose transitive callees outside the cone reach wall-clock time, " +
+		"global math/rand or the environment; reports the full call chain to the sink",
+	RunProgram: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	cg := pass.Prog.CallGraph()
+
+	// The sinks are external leaves of the call graph: the banned
+	// stdlib entry points that some module function calls directly.
+	sinkInfo := make(map[*analysis.Node]nodeterm.Sink)
+	var sinks []*analysis.Node
+	for _, fnode := range cg.Funcs() {
+		for _, e := range fnode.Out {
+			callee := e.Callee
+			if _, seen := sinkInfo[callee]; seen || callee.Local() {
+				continue
+			}
+			if sink, banned := nodeterm.ClassifySink(callee.Fn); banned {
+				sinkInfo[callee] = sink
+				sinks = append(sinks, callee)
+			}
+		}
+	}
+	if len(sinks) == 0 {
+		return nil
+	}
+	tainted := cg.ReachesAny(sinks)
+
+	// Report every call from a cone package to a tainted module
+	// function outside the cone — once per call site.
+	selected := make(map[*analysis.Package]bool)
+	for _, pkg := range pass.Prog.Packages {
+		selected[pkg] = true
+	}
+	for _, fnode := range cg.Funcs() {
+		if !selected[fnode.Pkg] || !nodeterm.InCone(fnode.Pkg.Path) {
+			continue
+		}
+		reported := make(map[int]bool)
+		for _, e := range fnode.Out {
+			callee := e.Callee
+			if !callee.Local() || nodeterm.InCone(callee.Pkg.Path) {
+				continue
+			}
+			if !tainted[callee] || reported[int(e.Pos)] {
+				continue
+			}
+			reported[int(e.Pos)] = true
+			path := cg.PathTo(callee, asSet(sinks))
+			sink := sinkInfo[path[len(path)-1]]
+			pass.Reportf(e.Pos, "call to %s reaches %s via %s; ambient nondeterminism must not be reachable from the simulation cone — %s",
+				callee.Name(), sink.Name, renderChain(path, sinkInfo), hintOf(sink))
+		}
+	}
+	return nil
+}
+
+func asSet(nodes []*analysis.Node) map[*analysis.Node]bool {
+	set := make(map[*analysis.Node]bool, len(nodes))
+	for _, n := range nodes {
+		set[n] = true
+	}
+	return set
+}
+
+// renderChain formats a call path as "hlp.Stamp -> hlp.inner ->
+// time.Now" for the diagnostic.
+func renderChain(path []*analysis.Node, sinkInfo map[*analysis.Node]nodeterm.Sink) string {
+	parts := make([]string, 0, len(path))
+	for _, n := range path {
+		if sink, ok := sinkInfo[n]; ok {
+			parts = append(parts, sink.Name)
+			continue
+		}
+		parts = append(parts, n.Name())
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// hintOf extracts the remediation half of the sink's v1 message (the
+// text after the first semicolon), falling back to the whole message.
+func hintOf(sink nodeterm.Sink) string {
+	if _, hint, ok := strings.Cut(sink.Message, "; "); ok {
+		return hint
+	}
+	return sink.Message
+}

@@ -1,0 +1,12 @@
+package nodetaint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/nodetaint"
+)
+
+func TestNodetaint(t *testing.T) {
+	analysistest.RunProgram(t, "testdata", nodetaint.Analyzer, "sim", "hlp")
+}

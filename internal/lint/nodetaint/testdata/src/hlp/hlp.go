@@ -1,0 +1,63 @@
+// Fixture: a utility package outside the simulation cone. Nothing in
+// here is flagged directly (non-cone code may read the wall clock);
+// the diagnostics appear at the cone call sites in the sim fixture.
+package hlp
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp launders time.Now behind one more hop.
+func Stamp() int64 { return inner() }
+
+func inner() int64 { return time.Now().UnixNano() }
+
+// Clock is dispatched dynamically; WallClock is its only local
+// implementation.
+type Clock interface {
+	Now() int64
+}
+
+// WallClock reads the wall clock.
+type WallClock struct{}
+
+// Now implements Clock on the banned entry point.
+func (WallClock) Now() int64 { return time.Now().UnixNano() }
+
+// Via launders the sink behind an interface method call.
+func Via(c Clock) int64 { return c.Now() }
+
+// Ping and pong are mutually recursive; the sink sits in pong.
+func Ping(n int) string {
+	if n <= 0 {
+		return ""
+	}
+	return pong(n - 1)
+}
+
+func pong(n int) string {
+	if n <= 0 {
+		return os.Getenv("BAN_FIXTURE")
+	}
+	return Ping(n - 1)
+}
+
+// Draw passes the banned global draw around as a value.
+func Draw() float64 {
+	f := rand.Float64
+	return apply(f)
+}
+
+func apply(f func() float64) float64 { return f() }
+
+// Pure is taint-free.
+func Pure(x int) int { return x * 2 }
+
+// Seeded builds an explicit seeded stream: the constructors are
+// allowed, so no taint flows to callers.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

@@ -1,0 +1,50 @@
+// Fixture: package path contains the "sim" segment, so it lies inside
+// the deterministic simulation cone. Direct sink calls are nodeterm's
+// (v1) territory; everything here launders nondeterminism through
+// helpers in the non-cone package hlp, which only the interprocedural
+// taint can see.
+package sim
+
+import "hlp"
+
+// TwoDeep reaches time.Now through a helper chain two calls deep.
+func TwoDeep() int64 {
+	return hlp.Stamp() // want `call to hlp\.Stamp reaches time\.Now via hlp\.Stamp -> hlp\.inner -> time\.Now`
+}
+
+// ViaInterface reaches time.Now through an interface method: the
+// static callee is hlp.Via, whose dynamic c.Now() dispatch lands on
+// hlp.WallClock.Now — resolved by the call graph's method-set
+// analysis.
+func ViaInterface() int64 {
+	return hlp.Via(hlp.WallClock{}) // want `call to hlp\.Via reaches time\.Now`
+}
+
+// ViaRecursion reaches os.Getenv through a mutually recursive helper
+// pair (one strongly connected component).
+func ViaRecursion() string {
+	return hlp.Ping(3) // want `call to hlp\.Ping reaches os\.Getenv`
+}
+
+// ViaReference reaches the global rand through a helper that passes
+// rand.Float64 around as a value instead of calling it.
+func ViaReference() float64 {
+	return hlp.Draw() // want `call to hlp\.Draw reaches rand\.Float64`
+}
+
+// Clean calls a pure helper: no taint, no diagnostic.
+func Clean() int {
+	return hlp.Pure(21)
+}
+
+// SeededOK calls a helper that builds a properly seeded stream: the
+// rand.New/rand.NewSource constructors are not sinks.
+func SeededOK(seed int64) float64 {
+	return hlp.Seeded(seed)
+}
+
+// Waived demonstrates the escape hatch on a taint finding.
+func Waived() int64 {
+	//lint:allow nodetaint fixture: demonstrating the waiver path
+	return hlp.Stamp()
+}

@@ -11,6 +11,7 @@
 package nodeterm
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 	"strings"
@@ -31,11 +32,23 @@ var Analyzer = &analysis.Analyzer{
 var coneSegments = map[string]bool{
 	"sim": true, "core": true, "mac": true, "channel": true, "fault": true,
 	"radio": true, "mcu": true, "node": true, "metrics": true,
+	// The model's outer shell: battery/energy bookkeeping, frame
+	// codecs, the invariant auditor, the body-channel model, the
+	// applications, and the chaos scenario generator all feed golden
+	// runs and must replay bit-identically too.
+	"battery": true, "energy": true, "packet": true, "audit": true,
+	"body": true, "app": true, "codec": true, "soak": true,
 }
 
 // InCone reports whether the import path lies inside the deterministic
-// simulation cone.
+// simulation cone. CLI drivers are excluded wholesale: cmd/soak times
+// its wall-clock budget and cmd/sweep renders ETAs by design, and a
+// command directory named after a cone package must not drag the
+// process shell into the purity contract.
 func InCone(path string) bool {
+	if strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/") {
+		return false
+	}
 	for _, seg := range strings.Split(path, "/") {
 		if coneSegments[seg] {
 			return true
@@ -68,6 +81,51 @@ var allowedRand = map[string]bool{
 
 var bannedOS = map[string]bool{"Getenv": true, "LookupEnv": true, "Environ": true}
 
+// Sink describes one banned ambient-nondeterminism entry point: its
+// qualified name for call-chain rendering and the full v1 diagnostic
+// message. Shared with the interprocedural nodetaint analyzer, so both
+// layers ban exactly the same set.
+type Sink struct {
+	Name    string
+	Message string
+}
+
+// ClassifySink reports whether fn is one of the banned package-level
+// entry points (wall clock, global rand, environment). Methods are
+// never sinks: (*rand.Rand).Intn is a seeded-stream draw.
+func ClassifySink(fn *types.Func) (Sink, bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return Sink{}, false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return Sink{}, false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if hint, banned := bannedTime[fn.Name()]; banned {
+			return Sink{
+				Name:    "time." + fn.Name(),
+				Message: fmt.Sprintf("time.%s is wall-clock nondeterminism inside the simulation cone; %s", fn.Name(), hint),
+			}, true
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedRand[fn.Name()] {
+			return Sink{
+				Name:    fn.Pkg().Name() + "." + fn.Name(),
+				Message: fmt.Sprintf("global %s.%s breaks (Config, Seed) determinism; draw from a seeded *rand.Rand (sim.Kernel.Rand, runner.DeriveSeed)", fn.Pkg().Name(), fn.Name()),
+			}, true
+		}
+	case "os":
+		if bannedOS[fn.Name()] {
+			return Sink{
+				Name:    "os." + fn.Name(),
+				Message: fmt.Sprintf("os.%s makes simulation behaviour depend on the environment; thread configuration through Config instead", fn.Name()),
+			}, true
+		}
+	}
+	return Sink{}, false
+}
+
 func run(pass *analysis.Pass) error {
 	if !InCone(pass.Path) {
 		return nil
@@ -79,25 +137,11 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-			if !ok || fn.Pkg() == nil {
+			if !ok {
 				return true
 			}
-			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
-				return true // methods (e.g. (*rand.Rand).Intn) are seeded-stream calls
-			}
-			switch fn.Pkg().Path() {
-			case "time":
-				if hint, banned := bannedTime[fn.Name()]; banned {
-					pass.Reportf(sel.Pos(), "time.%s is wall-clock nondeterminism inside the simulation cone; %s", fn.Name(), hint)
-				}
-			case "math/rand", "math/rand/v2":
-				if !allowedRand[fn.Name()] {
-					pass.Reportf(sel.Pos(), "global %s.%s breaks (Config, Seed) determinism; draw from a seeded *rand.Rand (sim.Kernel.Rand, runner.DeriveSeed)", fn.Pkg().Name(), fn.Name())
-				}
-			case "os":
-				if bannedOS[fn.Name()] {
-					pass.Reportf(sel.Pos(), "os.%s makes simulation behaviour depend on the environment; thread configuration through Config instead", fn.Name())
-				}
+			if sink, banned := ClassifySink(fn); banned {
+				pass.Reportf(sel.Pos(), "%s", sink.Message)
 			}
 			return true
 		})

@@ -14,6 +14,8 @@ import (
 // Protocol names a registered MAC protocol. The two TDMA flavours keep
 // the names the scenario schema has always used; the contention
 // protocols extend the set.
+//
+//lint:exhaustive
 type Protocol string
 
 const (

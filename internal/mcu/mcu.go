@@ -143,6 +143,7 @@ func (m *MCU) execFor(dur sim.Time, cycles int64, done func()) sim.Time {
 	m.activeTime += dur
 
 	gen := m.gen
+	//lint:allow hotalloc the completion closure is the kernel handler ABI: one bounded allocation per computation
 	m.k.ScheduleAt(end, func(*sim.Kernel) {
 		if m.gen != gen {
 			return // the node crashed; this computation never completed

@@ -24,6 +24,8 @@ import (
 )
 
 // Kind classifies a recorded event.
+//
+//lint:exhaustive
 type Kind string
 
 // The event kinds the framework emits.

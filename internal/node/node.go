@@ -235,6 +235,12 @@ func (s *Sensor) settleBattery(now sim.Time) bool {
 				s.App.Stop()
 			}
 			s.Mac.EnterBeaconOnly()
+		case battery.LevelNormal, battery.LevelDead:
+			// Unreachable by construction: the walk starts at
+			// tr.From+1 >= LevelStretch, and a transition into
+			// LevelDead sets tr.Died, which returned above. Reaching
+			// either is a battery state-machine bug.
+			panic("node: degradation walk reached " + lvl.String() + " without a brownout")
 		}
 		s.tracer.Recordf(now, s.Name, trace.KindDegrade, "level=%s soc=%.1f%%",
 			lvl, s.Bat.SOC()*100)

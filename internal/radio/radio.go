@@ -28,6 +28,8 @@ import (
 )
 
 // Mode is the radio's operating mode.
+//
+//lint:exhaustive
 type Mode int
 
 // The nRF2401 operating modes the model distinguishes.
@@ -259,6 +261,8 @@ func (r *Radio) Load(dest packet.Address, payload []byte, done func()) {
 // Fire transmits the frame previously loaded with Load: PLL settling,
 // then the 1 Mbps burst. done runs when the burst ends and the radio is
 // back in standby.
+//
+//hot:path
 func (r *Radio) Fire(done func()) {
 	if !r.hasLoaded {
 		panic(fmt.Sprintf("radio %s: Fire with empty TX FIFO", r.name))
@@ -276,6 +280,7 @@ func (r *Radio) Fire(done func()) {
 	r.setMode(ModeTx)
 	air := r.params.Airtime(len(frame.Payload))
 	gen := r.gen
+	//lint:allow hotalloc the settle/burst closures are the kernel handler ABI: two bounded allocations per transmission
 	r.k.Schedule(r.params.TxSettle, func(*sim.Kernel) {
 		if r.gen != gen {
 			return // crashed during PLL settling; nothing reached the air
@@ -340,6 +345,8 @@ func (r *Radio) ListeningSince() (sim.Time, bool) {
 // Deliver implements channel.Transceiver: end-of-frame processing in the
 // order the hardware applies it — CRC check, address filter, FIFO drain,
 // MCU interrupt.
+//
+//hot:path
 func (r *Radio) Deliver(image []byte, cause channel.Corruption) {
 	// The image buffer belongs to the channel and is recycled once
 	// delivery returns; copy it into the radio's scratch and decode in
@@ -359,6 +366,7 @@ func (r *Radio) Deliver(image []byte, cause channel.Corruption) {
 		// retransmission.
 		r.stats.CRCDrops++
 		r.ledger.AttributeLoss(energy.LossCollision, r.RxPowerW()*air.Seconds())
+		//lint:allow hotalloc trace formatting boxes its args; CRC drops are exceptional events, not steady state
 		r.tracer.Recordf(r.k.Now(), r.name, trace.KindCRCDrop, "cause=%v", cause)
 		return
 	}
@@ -366,6 +374,7 @@ func (r *Radio) Deliver(image []byte, cause channel.Corruption) {
 		// Overheard frame: address checked on-chip, never forwarded.
 		r.stats.AddrDrops++
 		r.ledger.AttributeLoss(energy.LossOverhearing, r.RxPowerW()*air.Seconds())
+		//lint:allow hotalloc trace formatting boxes its args; overheard frames are exceptional, not steady state
 		r.tracer.Recordf(r.k.Now(), r.name, trace.KindAddrFilter, "dest=%06x", uint32(frame.Dest))
 		return
 	}
@@ -377,6 +386,7 @@ func (r *Radio) Deliver(image []byte, cause channel.Corruption) {
 	drain := r.params.RxClockOut(len(frame.Payload))
 	r.productiveRx += drain
 	gen := r.gen
+	//lint:allow hotalloc the drain closure is the kernel handler ABI: one bounded allocation per accepted frame
 	r.k.Schedule(drain, func(*sim.Kernel) {
 		if r.gen != gen {
 			return // node crashed mid-drain; the frame is lost

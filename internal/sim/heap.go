@@ -63,6 +63,7 @@ func (q *eventQueue) Pop() any {
 
 func (s *heapSched) schedule(at Time, seq uint64, h Handler) EventID {
 	s.nextID++
+	//lint:allow hotalloc the legacy reference scheduler allocates per event by design; production runs use the pooled wheel
 	e := &event{at: at, seq: seq, id: s.nextID, handler: h}
 	heap.Push(&s.queue, e)
 	s.live[e.id] = e

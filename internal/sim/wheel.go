@@ -150,6 +150,10 @@ func (w *wheel) before(a, b int32) bool {
 	return ea.seq < eb.seq
 }
 
+// schedule files a new event: the insert half of the per-event steady
+// state. Pool growth amortises through the sanctioned self-append.
+//
+//hot:path
 func (w *wheel) schedule(at Time, seq uint64, h Handler) EventID {
 	idx := w.alloc()
 	e := &w.events[idx]
@@ -269,6 +273,8 @@ func (w *wheel) spillRemove(idx int32) {
 // and recycle immediately; ready residents become tombstones (handler
 // nil) swept when the ready tail is next popped, so cancelling during a
 // same-instant batch never disturbs positions behind the tail.
+//
+//hot:path
 func (w *wheel) cancel(id EventID) bool {
 	idx := int32(id>>32) - 1
 	if idx < 0 || int(idx) >= len(w.events) {
@@ -355,6 +361,8 @@ func (w *wheel) cascade(level int, slot int32) {
 // level-0 occupancy within the current page, and otherwise advances the
 // cursor by cascading the next occupied outer-level bucket or rebasing
 // from the spill.
+//
+//hot:path
 func (w *wheel) ensureReady() bool {
 	for {
 		for n := len(w.ready); n > 0; n = len(w.ready) {
@@ -439,6 +447,8 @@ func (w *wheel) advance() {
 // handler and instant. The slot is recycled before the handler runs, so
 // cancelling the fired ID from inside the handler reports false exactly
 // as the heap scheduler did.
+//
+//hot:path
 func (w *wheel) popReady() (Handler, Time) {
 	n := len(w.ready) - 1
 	idx := w.ready[n]
