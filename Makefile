@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint banlint lint-fixtures build test race cover cover-lint mactest bench bench-snapshot bench-check soak fuzz sweep-demo
+.PHONY: ci vet lint banlint lint-fixtures build test race cover cover-lint mactest bench bench-snapshot bench-check soak resume-check fuzz sweep-demo
 
-ci: vet lint banlint lint-fixtures build test race cover cover-lint mactest bench-check soak
+ci: vet lint banlint lint-fixtures build test race cover cover-lint mactest bench-check soak resume-check
 
 vet:
 	$(GO) vet ./...
@@ -130,7 +130,7 @@ bench:
 #
 #     make bench-snapshot          # the "-update" flow
 #
-BENCH_SNAPSHOT = BENCH_9.json
+BENCH_SNAPSHOT = BENCH_10.json
 
 bench-snapshot:
 	$(GO) run ./cmd/bench -out $(BENCH_SNAPSHOT)
@@ -151,6 +151,14 @@ SOAK_START = 1
 
 soak:
 	$(GO) run ./cmd/soak -seeds $(SOAK_SEEDS) -start $(SOAK_START) -budget 30s -q
+
+# The resilience acceptance test (DESIGN.md section 16): a journaled
+# sweep killed mid-batch and resumed with -resume must emit CSV
+# byte-identical to the same sweep run uninterrupted. It builds and
+# drives the real sweep binary, so it runs as its own gate rather than
+# hiding inside `make test` timing.
+resume-check:
+	$(GO) test -v -run TestKillResumeRoundTrip ./cmd/sweep
 
 # Continuous fuzzing of the scenario JSON loader (bounded for CI use;
 # raise -fuzztime locally).

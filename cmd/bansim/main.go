@@ -173,6 +173,7 @@ func main() {
 		degrade    = flag.Bool("degrade", false, "enable the default graceful-degradation policy; needs -battery")
 		auditOn    = flag.Bool("audit", false, "run the invariant audits; any violation makes bansim exit non-zero")
 		auditEvery = flag.Duration("audit-every", 0, "audit sweep cadence in simulated time (0 = the engine default); implies -audit")
+		maxEvents  = flag.Uint64("max-events", 0, "abort a wedged run after this many kernel events (0 = unlimited); tripping it exits non-zero")
 
 		withMet  = flag.Bool("metrics", false, "collect and print the observability snapshot (state residency, counters, latency histograms)")
 		metOut   = flag.String("metrics-out", "", "write the metrics snapshot to this file (.csv = flat table, else JSON); implies -metrics")
@@ -199,6 +200,7 @@ func main() {
 		}
 		applyBatteryFlags(&cfg, *batSpec, *brownout, *degrade)
 		applyAuditFlags(&cfg, *auditOn, *auditEvery)
+		applyBudgetFlag(&cfg, *maxEvents)
 		cfg.Metrics = cfg.Metrics || *withMet || *metOut != ""
 		res, err := core.Run(cfg)
 		if err != nil {
@@ -254,11 +256,24 @@ func main() {
 	}
 	applyBatteryFlags(&cfg, *batSpec, *brownout, *degrade)
 	applyAuditFlags(&cfg, *auditOn, *auditEvery)
+	applyBudgetFlag(&cfg, *maxEvents)
 	res, err := core.Run(cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	emit(res, *format, *metOut, *traceOut)
+}
+
+// applyBudgetFlag overlays -max-events onto a config. Like the other
+// overlay flags it composes with a scenario file and only tightens: a
+// file's smaller budget wins.
+func applyBudgetFlag(cfg *core.Config, maxEvents uint64) {
+	if maxEvents == 0 {
+		return
+	}
+	if cfg.MaxEvents == 0 || maxEvents < cfg.MaxEvents {
+		cfg.MaxEvents = maxEvents
+	}
 }
 
 // applyAuditFlags overlays the audit flags onto a config; like the fault

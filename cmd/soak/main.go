@@ -10,12 +10,22 @@
 // The exit status is 0 when every seed passes and 1 otherwise, so the
 // Makefile can gate CI on it. Each failure line carries the seed; the
 // same binary with -start <seed> -seeds 1 replays it exactly.
+//
+// The wall-clock budget is enforced through context cancellation and
+// the kernel's interrupt hook, so a long seed is aborted mid-run when
+// the budget expires — the corpus can never overrun CI by one slow
+// seed. SIGINT/SIGTERM cancel the same way; an interrupted run exits
+// non-zero after reporting how far it got.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -25,22 +35,39 @@ import (
 func main() {
 	seeds := flag.Int("seeds", 64, "number of consecutive seeds to run")
 	start := flag.Int64("start", 1, "first seed of the range")
-	budget := flag.Duration("budget", 0, "soft wall-clock cap; 0 means unlimited")
+	budget := flag.Duration("budget", 0, "wall-clock cap, enforced mid-seed; 0 means unlimited")
 	out := flag.String("out", ".", "directory for shrunk reproducer scenarios")
 	quiet := flag.Bool("q", false, "suppress the per-run progress line")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	budgetCtx := ctx
+	if *budget > 0 {
+		var cancel context.CancelFunc
+		budgetCtx, cancel = context.WithTimeout(ctx, *budget)
+		defer cancel()
+	}
+
 	begin := time.Now()
 	ran, failures := 0, 0
+	interrupted := false
 	for i := 0; i < *seeds; i++ {
-		if *budget > 0 && time.Since(begin) > *budget {
-			fmt.Fprintf(os.Stderr, "soak: budget %v exhausted after %d/%d seeds\n",
-				*budget, ran, *seeds)
-			break
-		}
 		seed := *start + int64(i)
 		cfg := soak.Generate(seed)
-		f := soak.Evaluate(cfg)
+		f, err := soak.EvaluateCtx(budgetCtx, cfg)
+		if err != nil {
+			// The budget expiring is a normal end of the run; a signal is
+			// an interruption the exit status must report.
+			if errors.Is(ctx.Err(), context.Canceled) {
+				interrupted = true
+				fmt.Fprintf(os.Stderr, "soak: interrupted after %d/%d seeds\n", ran, *seeds)
+			} else {
+				fmt.Fprintf(os.Stderr, "soak: budget %v exhausted after %d/%d seeds\n",
+					*budget, ran, *seeds)
+			}
+			break
+		}
 		ran++
 		if f == nil {
 			if !*quiet {
@@ -61,6 +88,9 @@ func main() {
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "soak: %d/%d seeds failed in %v\n",
 			failures, ran, time.Since(begin).Round(time.Millisecond))
+		os.Exit(1)
+	}
+	if interrupted {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "soak: %d seeds clean in %v\n",

@@ -13,16 +13,26 @@
 //	sweep -mode cycle -app streaming            # cycle length sweep
 //	sweep -mode nodes -mac dynamic -app rpeak   # network size sweep
 //	sweep -mode ber -app streaming -workers 4   # channel quality sweep
+//
+// The sweep is resilient (README "Interrupting and resuming sweeps"):
+// SIGINT/SIGTERM stops dispatching, drains in-flight points and still
+// emits the completed rows (marked partial on stderr, exit 1). With
+// -journal the completed points are also persisted crash-safely, and
+// -resume restores them instead of re-running — an interrupted sweep
+// picks up where it stopped and produces byte-identical CSV.
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/battery"
@@ -46,8 +56,17 @@ func main() {
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers (1 = sequential)")
 		progress = flag.Bool("progress", false, "report per-point progress on stderr")
 		metOut   = flag.String("metrics-out", "", "write the sweep's aggregated metrics snapshot to this file (.csv = flat table, else JSON)")
+		jnlPath  = flag.String("journal", "", "append each completed point to this crash-safe journal file")
+		resume   = flag.String("resume", "", "restore completed points from this journal and append new ones to it (implies -journal)")
 	)
 	flag.Parse()
+
+	if *resume != "" {
+		if *jnlPath != "" && *jnlPath != *resume {
+			fatalf("-journal and -resume must name the same file")
+		}
+		*jnlPath = *resume
+	}
 
 	proto := mac.Protocol(*macName)
 	if _, ok := mac.Lookup(proto); !ok {
@@ -202,37 +221,94 @@ func main() {
 				rate/1e6)
 		}
 	}
-	results := runner.Run(points, opts)
-	if err := runner.FirstErr(results); err != nil {
-		fatalf("point %v", err)
+	if *jnlPath != "" {
+		j, err := runner.OpenJournal(*jnlPath, *resume != "")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer j.Close()
+		if st := j.Stats(); st.CorruptRecords > 0 || st.TruncatedTail {
+			fmt.Fprintf(os.Stderr, "sweep: journal damaged (%d corrupt record(s), truncated tail: %v); affected points will re-run\n",
+				st.CorruptRecords, st.TruncatedTail)
+		}
+		opts.Journal = j
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	results := runner.RunCtx(ctx, points, opts)
+	stop()
+	if opts.Journal != nil {
+		if err := opts.Journal.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: closing journal: %v\n", err)
+		}
+	}
+	if n := runner.Restored(results); n > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: restored %d point(s) from %s\n", n, *jnlPath)
+	}
+
 	if *metOut != "" {
-		agg := runner.AggregateMetrics(results)
-		var data []byte
-		if strings.HasSuffix(*metOut, ".csv") {
-			data = []byte(agg.CSV())
-		} else {
-			var err error
-			data, err = agg.JSON()
-			if err != nil {
+		if agg := runner.AggregateMetrics(results); agg != nil {
+			var data []byte
+			if strings.HasSuffix(*metOut, ".csv") {
+				data = []byte(agg.CSV())
+			} else {
+				var err error
+				data, err = agg.JSON()
+				if err != nil {
+					fatalf("metrics: %v", err)
+				}
+			}
+			if err := os.WriteFile(*metOut, data, 0o644); err != nil {
 				fatalf("metrics: %v", err)
 			}
 		}
-		if err := os.WriteFile(*metOut, data, 0o644); err != nil {
-			fatalf("metrics: %v", err)
-		}
 	}
 
+	// Completed points always reach the CSV — an interrupted or
+	// partially failed sweep salvages the finished work; failed and
+	// skipped points are reported on stderr and through the exit status.
+	ok := results[:0:0]
+	for _, r := range results {
+		if r.Err == nil && !r.Skipped {
+			ok = append(ok, r)
+		}
+	}
 	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
-	if *mode == "lifetime" {
-		writeLifetimeCSV(w, results)
-		return
+	switch *mode {
+	case "lifetime":
+		writeLifetimeCSV(w, ok)
+	case "maccompare":
+		writeMacCompareCSV(w, ok)
+	default:
+		writeSweepCSV(w, ok)
 	}
-	if *mode == "maccompare" {
-		writeMacCompareCSV(w, results)
-		return
+	w.Flush()
+	if err := w.Error(); err != nil {
+		fatalf("%v", err)
 	}
+
+	exit := 0
+	failed := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failed++
+		}
+	}
+	if failed > 0 {
+		exit = 1
+		fmt.Fprintf(os.Stderr, "sweep: %d/%d point(s) failed (first: %v)\n",
+			failed, len(results), runner.FirstErr(results))
+	}
+	if skipped := runner.Skipped(results); skipped > 0 {
+		exit = 1
+		fmt.Fprintf(os.Stderr, "sweep: interrupted: partial results, %d/%d point(s) completed, %d skipped\n",
+			len(ok), len(results), skipped)
+	}
+	os.Exit(exit)
+}
+
+// writeSweepCSV emits the standard per-point energy/latency table.
+func writeSweepCSV(w *csv.Writer, results []runner.Result) {
 	header := []string{"point", "radio_mJ", "mcu_mJ", "total_mJ", "avg_power_mW",
 		"pkts_sent", "pkts_acked", "ack_missed", "retries",
 		"avg_latency_ms", "max_latency_ms",

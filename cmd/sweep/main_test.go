@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// TestKillResumeRoundTrip is the resilience acceptance test (`make
+// resume-check`): a journaled sweep killed by SIGTERM mid-batch and
+// resumed with -resume must emit CSV byte-identical to the same sweep
+// run uninterrupted. Sequential workers make "mid-batch" deterministic:
+// the kill lands while later points are still pending.
+func TestKillResumeRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the sweep binary")
+	}
+	bin := filepath.Join(t.TempDir(), "sweep")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building sweep: %v\n%s", err, out)
+	}
+	args := []string{"-mode", "ber", "-duration", "10s", "-workers", "1"}
+
+	ref, err := exec.Command(bin, args...).Output()
+	if err != nil {
+		t.Fatalf("reference sweep: %v", err)
+	}
+
+	// Journaled run, SIGTERM after the first point completes. The
+	// in-flight point drains and is journaled too; the rest are skipped.
+	jnl := filepath.Join(t.TempDir(), "sweep.jnl")
+	killed := exec.Command(bin, append(args, "-progress", "-journal", jnl)...)
+	stderr, err := killed.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := killed.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stderr)
+	signalled := false
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+		if !signalled && strings.Contains(sc.Text(), "1/6") {
+			if err := killed.Process.Signal(syscall.SIGTERM); err != nil {
+				t.Fatal(err)
+			}
+			signalled = true
+		}
+	}
+	err = killed.Wait()
+	if !signalled {
+		t.Fatalf("never saw the first progress line:\n%s", strings.Join(lines, "\n"))
+	}
+	if err == nil {
+		t.Fatalf("killed sweep exited zero:\n%s", strings.Join(lines, "\n"))
+	}
+	interrupted := false
+	for _, l := range lines {
+		if strings.Contains(l, "interrupted: partial results") {
+			interrupted = true
+		}
+	}
+	if !interrupted {
+		t.Fatalf("killed sweep did not report partial results:\n%s", strings.Join(lines, "\n"))
+	}
+
+	// Resume: recorded points restore, the rest run, CSV matches the
+	// uninterrupted reference byte for byte.
+	resumed := exec.Command(bin, append(args, "-resume", jnl)...)
+	var out, errb bytes.Buffer
+	resumed.Stdout, resumed.Stderr = &out, &errb
+	if err := resumed.Run(); err != nil {
+		t.Fatalf("resumed sweep: %v\n%s", err, errb.String())
+	}
+	if !strings.Contains(errb.String(), "restored") {
+		t.Fatalf("resumed sweep restored nothing:\n%s", errb.String())
+	}
+	if !bytes.Equal(out.Bytes(), ref) {
+		t.Fatalf("resumed CSV differs from the uninterrupted run:\n--- reference\n%s--- resumed\n%s", ref, out.Bytes())
+	}
+}
+
+// TestFailedPointExitsNonZero checks the batch CLI failure contract: a
+// sweep containing an impossible point renders the healthy rows but
+// exits non-zero with a one-line summary.
+func TestFailedPointExitsNonZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the sweep binary")
+	}
+	bin := filepath.Join(t.TempDir(), "sweep")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building sweep: %v\n%s", err, out)
+	}
+	// A zero measurement window fails every point's validation.
+	cmd := exec.Command(bin, "-mode", "cycle", "-duration", "0s", "-workers", "2")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() == 0 {
+		t.Fatalf("sweep with failing points exited %v\n%s", err, errb.String())
+	}
+	if !strings.Contains(errb.String(), "failed") {
+		t.Fatalf("no failure summary on stderr:\n%s", errb.String())
+	}
+	// The header row still reaches stdout — the report path survives.
+	if !strings.HasPrefix(out.String(), "point,") {
+		t.Fatalf("no CSV emitted:\n%s", out.String())
+	}
+}

@@ -5,16 +5,25 @@
 // Simulation points fan out across -workers goroutines (default: all
 // cores); the printed numbers are identical at any worker count.
 //
+// SIGINT/SIGTERM cancel the batch: completed rows still render (tables
+// are marked PARTIAL, missing rows carry the reason) and the process
+// exits non-zero. A failed simulation point likewise renders as an
+// omitted row and fails the run, so CI never mistakes a partial
+// regeneration for a clean one.
+//
 //	tables            # full 60 s windows, as in the paper
 //	tables -fast      # 6 s windows scaled back to the 60 s basis
 //	tables -table table3 -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"repro/internal/experiments"
 	"repro/internal/paperdata"
@@ -32,7 +41,10 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Seed: *seed, Workers: *workers}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	opts := experiments.Options{Seed: *seed, Workers: *workers, Ctx: ctx}
 	if *fast {
 		opts.Duration = 6 * sim.Second
 	}
@@ -50,18 +62,28 @@ func main() {
 		}
 	}
 
+	exit := 0
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tables: "+format+"\n", args...)
+		exit = 1
+	}
+
+	var tabs []report.TableReport
 	switch *table {
 	case "extensions":
 		ext, err := experiments.Extensions(opts)
 		if err != nil {
-			fatalf("%v", err)
+			fail("%v", err)
+			break
 		}
 		fmt.Print(ext.Render())
 	case "all":
-		tabs, err := experiments.ReproduceAll(opts)
+		all, err := experiments.ReproduceAll(opts)
 		if err != nil {
-			fatalf("%v", err)
+			fail("%v", err)
+			break
 		}
+		tabs = all
 		for _, t := range tabs {
 			fmt.Println(render(t))
 			if errs, ok := paperdata.PaperAvgErrors[t.ID]; ok && *format == "text" {
@@ -69,29 +91,59 @@ func main() {
 					errs[0], errs[1])
 			}
 		}
-		if *format == "text" {
-			printFigure4(opts)
+		if *format == "text" && ctx.Err() == nil {
+			if err := printFigure4(opts); err != nil {
+				fail("%v", err)
+			}
 		}
 	case "figure4":
-		printFigure4(opts)
+		if err := printFigure4(opts); err != nil {
+			fail("%v", err)
+		}
 	default:
 		t, err := experiments.Reproduce(*table, opts)
 		if err != nil {
-			fatalf("%v", err)
+			fail("%v", err)
+			break
 		}
+		tabs = []report.TableReport{t}
 		fmt.Println(render(t))
 	}
+
+	// The omitted-row scan is the failure contract: any salvaged partial
+	// table exits non-zero with a one-line summary on stderr.
+	omitted := 0
+	first := ""
+	for _, t := range tabs {
+		for _, r := range t.Rows {
+			if r.Omitted != "" {
+				omitted++
+				if first == "" {
+					first = fmt.Sprintf("%s/%s: %s", t.ID, r.Label, r.Omitted)
+				}
+			}
+		}
+	}
+	if omitted > 0 {
+		if ctx.Err() != nil {
+			fail("interrupted: partial tables, %d row(s) omitted (first: %s)", omitted, first)
+		} else {
+			fail("%d row(s) omitted (first: %s)", omitted, first)
+		}
+	}
+	os.Exit(exit)
 }
 
-func printFigure4(opts experiments.Options) {
+func printFigure4(opts experiments.Options) error {
 	bars, err := experiments.Figure4(opts)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	fmt.Println(report.RenderFigure4(bars))
 	f := paperdata.Figure4()
 	fmt.Printf("(paper, real: streaming %.1f+%.1f mJ, rpeak %.1f+%.1f mJ -> 65%% saving)\n",
 		f.StreamingRadioRealMJ, f.StreamingMCURealMJ, f.RpeakRadioRealMJ, f.RpeakMCURealMJ)
+	return nil
 }
 
 func fatalf(format string, args ...any) {

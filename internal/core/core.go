@@ -150,6 +150,22 @@ type Config struct {
 	// (at, seq) order, so results are bit-equal; the heap exists for
 	// differential validation, not for production runs.
 	Scheduler string
+	// MaxEvents bounds the kernel's dispatched-event count over the whole
+	// run, warmup included (0 = unlimited). A run that reaches the budget
+	// aborts with a *BudgetError instead of spinning forever — the
+	// deterministic half of the batch runner's watchdog: equal
+	// (Config, Seed) runs trip at the identical event, on either
+	// scheduler.
+	MaxEvents uint64
+	// Interrupt, when non-nil, is polled by the kernel on a fixed
+	// dispatch cadence (sim.DefaultPollEvery events) and aborts the run
+	// with a *BudgetError when it returns true. It is the external abort
+	// hook — wall-clock watchdogs and context cancellation plug in here —
+	// and must be a pure observer: it may never touch simulation state,
+	// so an armed-but-untripped hook leaves results bit-identical.
+	// Never serialized, and stripped from Results.Config so result
+	// comparisons stay value-based.
+	Interrupt func() bool `json:"-"`
 	// Audit, when non-nil, enables the runtime invariant-audit engine:
 	// conservation and protocol laws registered by every component
 	// (energy/battery books, frame conservation, slot exclusivity, clock
@@ -383,7 +399,10 @@ type Results struct {
 	BSEnergy energy.Report
 	BSStats  mac.BSStats
 	Channel  channel.Stats
-	Trace    *trace.Recorder
+	// Trace is the in-memory event log. Excluded from serialization:
+	// journaled point records carry every numeric result bit-exactly but
+	// not the trace, so a restored point has a nil Trace.
+	Trace *trace.Recorder `json:"-"`
 	// JoinedAll reports whether every node held a slot at measurement
 	// start.
 	JoinedAll bool
@@ -415,7 +434,7 @@ func (r Results) Node() NodeResult { return r.Nodes[0] }
 // Run builds and executes the scenario.
 func Run(cfg Config) (Results, error) {
 	if err := cfg.Validate(); err != nil {
-		return Results{}, err
+		return Results{}, &ConfigError{Err: err}
 	}
 	prof := platform.IMEC()
 	if cfg.Profile != nil {
@@ -425,6 +444,9 @@ func Run(cfg Config) (Results, error) {
 	k := sim.NewKernel(cfg.Seed)
 	if cfg.Scheduler == SchedulerHeap {
 		k = sim.NewHeapKernel(cfg.Seed)
+	}
+	if cfg.MaxEvents > 0 || cfg.Interrupt != nil {
+		k.SetWatchdog(cfg.MaxEvents, cfg.Interrupt, 0)
 	}
 	ch := channel.New(k)
 	tracer := trace.New(cfg.TraceLimit)
@@ -574,6 +596,9 @@ func Run(cfg Config) (Results, error) {
 
 	// Warm-up: joins and pipeline fill.
 	k.RunUntil(cfg.Warmup)
+	if err := budgetErr(k); err != nil {
+		return Results{}, err
+	}
 	joinedAll := true
 	for _, s := range sensors {
 		if !s.Mac.Joined() {
@@ -590,7 +615,14 @@ func Run(cfg Config) (Results, error) {
 
 	// Measurement window.
 	k.RunUntil(cfg.Warmup + cfg.Duration)
+	if err := budgetErr(k); err != nil {
+		return Results{}, err
+	}
 
+	// Results must stay value-comparable (reflect.DeepEqual treats any
+	// non-nil func field as unequal) and serializable, so the abort hook
+	// never rides along in the embedded config.
+	cfg.Interrupt = nil
 	res := Results{
 		Config:    cfg,
 		BSStats:   base.BS.Stats(),

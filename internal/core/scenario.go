@@ -36,6 +36,7 @@ type scenarioJSON struct {
 	BrownoutV    float64                `json:"brownoutV,omitempty"`     // supply cutoff (0 = cell default)
 	Degrade      *battery.DegradePolicy `json:"degradePolicy,omitempty"` // low-battery watermarks
 	Scheduler    string                 `json:"scheduler,omitempty"`     // "wheel" (default) | "heap"
+	MaxEvents    uint64                 `json:"maxEvents,omitempty"`     // kernel event budget (0 = unlimited)
 	Audit        *auditJSON             `json:"audit,omitempty"`         // runtime invariant audits
 }
 
@@ -165,6 +166,7 @@ func ConfigFromJSON(data []byte) (Config, error) {
 		TraceLimit:        s.TraceLimit,
 		Metrics:           s.Metrics,
 		Scheduler:         s.Scheduler,
+		MaxEvents:         s.MaxEvents,
 	}
 	// Normalise an explicit empty list to nil so a decode/encode round
 	// trip is value-identical (the encoder omits the field either way).
@@ -244,6 +246,7 @@ func ConfigToJSON(cfg Config) ([]byte, error) {
 		BrownoutV:    cfg.BrownoutV,
 		Degrade:      cfg.Degrade,
 		Scheduler:    cfg.Scheduler,
+		MaxEvents:    cfg.MaxEvents,
 	}
 	if a := cfg.Audit; a != nil {
 		aj := &auditJSON{Limit: a.Limit}

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analytic"
@@ -31,6 +32,17 @@ type Options struct {
 	// 1 = sequential). Worker count never changes the numbers, only the
 	// wall-clock time.
 	Workers int
+	// Ctx cancels the batch (nil = background). Points still pending
+	// when it fires are skipped; completed rows are salvaged into a
+	// partial table whose missing rows carry the omission reason.
+	Ctx context.Context
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o Options) window() sim.Time {
@@ -94,24 +106,52 @@ type gridPoint struct {
 	row  paperdata.Row
 }
 
-// simulateGrid fans the points out across the runner and returns the
-// reference node's result per point, in input order. Every point must
-// have completed its joins by measurement start.
-func simulateGrid(grid []gridPoint, o Options) ([]core.NodeResult, error) {
+// simRow is one grid point's outcome: the reference node's result, or
+// the reason it is missing (failed point, incomplete join, or a point
+// skipped because the batch was cancelled).
+type simRow struct {
+	node core.NodeResult
+	omit string
+}
+
+// simulateGrid fans the points out across the runner and returns one
+// row per point, in input order. Failed or skipped points come back as
+// omitted rows instead of aborting the batch, so an interrupted or
+// partly broken grid still renders the completed rows.
+func simulateGrid(grid []gridPoint, o Options) []simRow {
 	points := make([]runner.Point, len(grid))
 	for i, g := range grid {
 		points[i] = runner.Point{Label: g.row.Label, Config: rowConfig(g.spec, g.row, o)}
 	}
-	results := runner.Run(points, runner.Options{Workers: o.Workers})
-	if err := runner.FirstErr(results); err != nil {
-		return nil, fmt.Errorf("experiments: %w", err)
-	}
-	out := make([]core.NodeResult, len(results))
+	results := runner.RunCtx(o.ctx(), points, runner.Options{Workers: o.Workers})
+	out := make([]simRow, len(results))
 	for i, r := range results {
-		if !r.Res.JoinedAll {
-			return nil, fmt.Errorf("experiments: join incomplete for %s", r.Label)
+		switch {
+		case r.Skipped:
+			out[i].omit = "skipped: interrupted"
+		case r.Err != nil:
+			out[i].omit = r.Err.Error()
+		case !r.Res.JoinedAll:
+			// Every point must have completed its joins by measurement
+			// start for the energy columns to be comparable.
+			out[i].omit = "join incomplete"
+		default:
+			out[i].node = r.Res.Node()
 		}
-		out[i] = r.Res.Node()
+	}
+	return out
+}
+
+// completeGrid is simulateGrid for the callers that cannot salvage a
+// partial batch: the first omitted row becomes an error.
+func completeGrid(grid []gridPoint, o Options) ([]core.NodeResult, error) {
+	rows := simulateGrid(grid, o)
+	out := make([]core.NodeResult, len(rows))
+	for i, r := range rows {
+		if r.omit != "" {
+			return nil, fmt.Errorf("experiments: %s: %s", grid[i].row.Label, r.omit)
+		}
+		out[i] = r.node
 	}
 	return out, nil
 }
@@ -135,34 +175,41 @@ func (o Options) scale() float64 {
 }
 
 // assembleTable builds one comparison table from the per-row simulator
-// results (the analytic model is cheap and runs inline).
-func assembleTable(spec tableSpec, sims []core.NodeResult, o Options) (report.TableReport, error) {
+// results (the analytic model is cheap and runs inline). Omitted rows
+// keep their paper columns and carry the omission reason instead of
+// simulator numbers.
+func assembleTable(spec tableSpec, sims []simRow, o Options) (report.TableReport, error) {
 	out := report.TableReport{ID: spec.data.ID, Caption: spec.data.Caption}
 	for i, row := range spec.data.Rows {
-		an, err := analyticRow(spec, row, o)
-		if err != nil {
-			return report.TableReport{}, err
+		cmp := report.Comparison{
+			Label:       row.Label,
+			CycleMS:     row.Cycle.Milliseconds(),
+			RadioRealMJ: row.RadioRealMJ,
+			RadioSimMJ:  row.RadioSimMJ,
+			MCURealMJ:   row.MCURealMJ,
+			MCUSimMJ:    row.MCUSimMJ,
+			Omitted:     sims[i].omit,
 		}
-		nr := sims[i]
-		s := o.scale()
-		out.Rows = append(out.Rows, report.Comparison{
-			Label:           row.Label,
-			CycleMS:         row.Cycle.Milliseconds(),
-			RadioRealMJ:     row.RadioRealMJ,
-			RadioSimMJ:      row.RadioSimMJ,
-			MCURealMJ:       row.MCURealMJ,
-			MCUSimMJ:        row.MCUSimMJ,
-			OursRadioMJ:     nr.RadioMJ() * s,
-			OursMCUMJ:       nr.MCUMJ() * s,
-			AnalyticRadioMJ: an.RadioMJ() * s,
-			AnalyticMCUMJ:   an.MCUMJ() * s,
-		})
+		if cmp.Omitted == "" {
+			an, err := analyticRow(spec, row, o)
+			if err != nil {
+				return report.TableReport{}, err
+			}
+			s := o.scale()
+			nr := sims[i].node
+			cmp.OursRadioMJ = nr.RadioMJ() * s
+			cmp.OursMCUMJ = nr.MCUMJ() * s
+			cmp.AnalyticRadioMJ = an.RadioMJ() * s
+			cmp.AnalyticMCUMJ = an.MCUMJ() * s
+		}
+		out.Rows = append(out.Rows, cmp)
 	}
 	return out, nil
 }
 
 // Reproduce regenerates one published table, its rows fanned out across
-// the runner.
+// the runner. Failed or skipped points surface as omitted rows in a
+// partial table, not as an error.
 func Reproduce(id string, o Options) (report.TableReport, error) {
 	spec, err := specFor(id)
 	if err != nil {
@@ -172,16 +219,14 @@ func Reproduce(id string, o Options) (report.TableReport, error) {
 	for i, row := range spec.data.Rows {
 		grid[i] = gridPoint{spec, row}
 	}
-	sims, err := simulateGrid(grid, o)
-	if err != nil {
-		return report.TableReport{}, err
-	}
-	return assembleTable(spec, sims, o)
+	return assembleTable(spec, simulateGrid(grid, o), o)
 }
 
 // ReproduceAll regenerates the four tables. All rows of all tables are
 // flattened into a single runner batch, so the full evaluation grid
-// (18 simulations) keeps every worker busy.
+// (18 simulations) keeps every worker busy. When Options.Ctx fires
+// mid-batch the completed rows are still assembled; the rest render as
+// omitted rows of partial tables.
 func ReproduceAll(o Options) ([]report.TableReport, error) {
 	var grid []gridPoint
 	var specs []tableSpec
@@ -195,10 +240,7 @@ func ReproduceAll(o Options) ([]report.TableReport, error) {
 			grid = append(grid, gridPoint{spec, row})
 		}
 	}
-	sims, err := simulateGrid(grid, o)
-	if err != nil {
-		return nil, err
-	}
+	sims := simulateGrid(grid, o)
 	var out []report.TableReport
 	off := 0
 	for _, spec := range specs {
@@ -219,7 +261,7 @@ func ReproduceAll(o Options) ([]report.TableReport, error) {
 func Figure4(o Options) ([]report.Bar, error) {
 	sSpec, _ := specFor("table1")
 	rSpec, _ := specFor("table3")
-	sims, err := simulateGrid([]gridPoint{
+	sims, err := completeGrid([]gridPoint{
 		{sSpec, paperdata.Table1().Rows[0]},
 		{rSpec, paperdata.Table3().Rows[3]},
 	}, o)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -125,5 +126,53 @@ func TestFigure4Fast(t *testing.T) {
 	saving := 1 - bars[1].Total()/bars[0].Total()
 	if saving < 0.5 || saving > 0.8 {
 		t.Fatalf("saving = %.2f, want ~0.65", saving)
+	}
+}
+
+// TestCancelledContextSalvagesPartialTables: a context cancelled before
+// dispatch leaves every row omitted, but the tables still assemble with
+// the paper columns intact and render as PARTIAL instead of erroring.
+func TestCancelledContextSalvagesPartialTables(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := fast
+	opts.Ctx = ctx
+	tabs, err := ReproduceAll(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 4 {
+		t.Fatalf("tables = %d", len(tabs))
+	}
+	for _, tab := range tabs {
+		if !tab.Partial() || tab.OmittedRows() != len(tab.Rows) {
+			t.Fatalf("%s: omitted %d/%d rows, want all", tab.ID, tab.OmittedRows(), len(tab.Rows))
+		}
+		for _, r := range tab.Rows {
+			if r.Omitted != "skipped: interrupted" {
+				t.Fatalf("%s/%s omitted = %q", tab.ID, r.Label, r.Omitted)
+			}
+			if r.RadioRealMJ == 0 && r.MCURealMJ == 0 {
+				t.Fatalf("%s/%s lost its paper columns", tab.ID, r.Label)
+			}
+		}
+		if out := tab.Render(); !strings.Contains(out, "PARTIAL") {
+			t.Fatalf("partial table renders without the marker:\n%s", out)
+		}
+	}
+}
+
+// TestCancelledContextFailsFigure4AndExtensions: the cross-point
+// figures cannot salvage a partial batch, so cancellation is an error.
+func TestCancelledContextFailsFigure4AndExtensions(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := fast
+	opts.Ctx = ctx
+	if _, err := Figure4(opts); err == nil {
+		t.Fatal("Figure4 accepted a cancelled batch")
+	}
+	if _, err := Extensions(opts); err == nil {
+		t.Fatal("Extensions accepted a cancelled batch")
 	}
 }

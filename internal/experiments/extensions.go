@@ -67,7 +67,12 @@ func Extensions(o Options) (ExtensionResults, error) {
 	points = add(points, "ladder-hrv", core.Config{Variant: mac.Static, Nodes: 5,
 		Cycle: 120 * sim.Millisecond, App: core.AppHRV})
 
-	results := runner.Run(points, runner.Options{Workers: o.Workers})
+	results := runner.RunCtx(o.ctx(), points, runner.Options{Workers: o.Workers})
+	if n := runner.Skipped(results); n > 0 {
+		// The extension metrics are cross-point ratios; a partial batch
+		// has nothing to salvage.
+		return out, fmt.Errorf("experiments: interrupted: %d point(s) skipped", n)
+	}
 	if err := runner.FirstErr(results); err != nil {
 		return out, fmt.Errorf("experiments: %w", err)
 	}

@@ -1,0 +1,250 @@
+// Package journal is an append-only, per-record-checksummed result log:
+// the crash-safe persistence layer under `sweep -journal/-resume` and
+// the first concrete step toward a content-addressed result cache.
+//
+// Each record frames an opaque payload under a caller-chosen 64-bit key
+// (the batch layer uses a config hash):
+//
+//	magic(4) | u32 payload length | u64 key | payload | u32 CRC-32
+//
+// All integers little-endian; the CRC (IEEE polynomial) covers the
+// length, key and payload fields. The framing makes the file
+// self-healing on reopen: a process killed mid-write leaves at worst a
+// truncated tail, which Decode drops, and a bit-flipped record fails
+// its checksum and is skipped by resynchronising on the next magic
+// marker — in both cases every other record is recovered intact, so a
+// resumed batch re-runs only the affected points.
+//
+// Durability is batched: Append buffers, Commit flushes and fsyncs.
+// A record is only promised to survive a crash once Commit returns.
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// magic opens every record. The first byte is deliberately outside
+// ASCII so the marker cannot occur inside the JSON payloads the batch
+// layer stores, which keeps resynchronisation after a corrupt record
+// from stalling inside record bodies.
+var magic = [4]byte{0xB1, 'J', 'N', 'L'}
+
+// headerSize is magic + payload length + key; trailerSize the CRC.
+const (
+	headerSize  = 4 + 4 + 8
+	trailerSize = 4
+	// MaxPayload bounds a single record. Lengths beyond it are treated
+	// as corruption during decode: no legitimate writer produces them,
+	// and the cap keeps a flipped length bit from swallowing the rest
+	// of the file as one giant phantom record.
+	MaxPayload = 1 << 28
+)
+
+// Record is one decoded journal entry.
+type Record struct {
+	Key     uint64
+	Payload []byte
+}
+
+// ReadStats reports what Decode found beyond the good records.
+type ReadStats struct {
+	// Records is the count of intact records returned.
+	Records int
+	// CorruptRecords counts resynchronisation events: runs of bytes
+	// skipped because a record failed its checksum or framing.
+	CorruptRecords int
+	// TruncatedTail reports that the file ends inside a record — the
+	// signature of a process killed mid-write. The partial record is
+	// dropped.
+	TruncatedTail bool
+}
+
+// Encode frames one record. Pure; Append uses it, and tests corrupt
+// its output to exercise Decode's recovery paths.
+func Encode(key uint64, payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload)+trailerSize)
+	copy(buf, magic[:])
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(buf[8:], key)
+	copy(buf[headerSize:], payload)
+	crc := crc32.ChecksumIEEE(buf[4 : headerSize+len(payload)])
+	binary.LittleEndian.PutUint32(buf[headerSize+len(payload):], crc)
+	return buf
+}
+
+// decode errors distinguish "file ends inside this record" (a truncated
+// tail when nothing follows) from outright corruption.
+var (
+	errShort   = errors.New("journal: record extends past end of data")
+	errBad     = errors.New("journal: bad record")
+	errTooLong = errors.New("journal: payload length over cap")
+)
+
+// decodeOne parses the record at the start of data, returning it and
+// its encoded size.
+func decodeOne(data []byte) (Record, int, error) {
+	if len(data) < headerSize {
+		if bytes.HasPrefix(magic[:], data) || bytes.HasPrefix(data, magic[:]) {
+			return Record{}, 0, errShort
+		}
+		return Record{}, 0, errBad
+	}
+	if !bytes.Equal(data[:4], magic[:]) {
+		return Record{}, 0, errBad
+	}
+	n := binary.LittleEndian.Uint32(data[4:])
+	if n > MaxPayload {
+		return Record{}, 0, errTooLong
+	}
+	total := headerSize + int(n) + trailerSize
+	if len(data) < total {
+		return Record{}, 0, errShort
+	}
+	want := binary.LittleEndian.Uint32(data[headerSize+int(n):])
+	if crc32.ChecksumIEEE(data[4:headerSize+int(n)]) != want {
+		return Record{}, 0, errBad
+	}
+	rec := Record{
+		Key:     binary.LittleEndian.Uint64(data[8:]),
+		Payload: append([]byte(nil), data[headerSize:headerSize+int(n)]...),
+	}
+	return rec, total, nil
+}
+
+// nextMagic returns the offset of the next magic marker strictly after
+// position 0, or -1.
+func nextMagic(data []byte) int {
+	if len(data) < 2 {
+		return -1
+	}
+	i := bytes.Index(data[1:], magic[:])
+	if i < 0 {
+		return -1
+	}
+	return i + 1
+}
+
+// Decode parses a journal image, recovering every intact record. It
+// never fails: corruption and truncation are reported in ReadStats and
+// skipped. Later records win on duplicate keys only by position — the
+// caller decides (the batch layer keeps the last committed record per
+// key).
+func Decode(data []byte) ([]Record, ReadStats) {
+	var (
+		recs []Record
+		st   ReadStats
+	)
+	i := 0
+	for i < len(data) {
+		rec, n, err := decodeOne(data[i:])
+		if err == nil {
+			recs = append(recs, rec)
+			st.Records++
+			i += n
+			continue
+		}
+		if err == errShort {
+			// Ends inside a record that started with a valid marker: a
+			// truncated tail, unless a complete record follows (then the
+			// length field itself was corrupted).
+			if j := nextMagic(data[i:]); j > 0 {
+				st.CorruptRecords++
+				i += j
+				continue
+			}
+			st.TruncatedTail = true
+			return recs, st
+		}
+		// Framing or checksum failure: resynchronise on the next marker.
+		st.CorruptRecords++
+		j := nextMagic(data[i:])
+		if j < 0 {
+			return recs, st
+		}
+		i += j
+	}
+	return recs, st
+}
+
+// ReadFile loads and decodes a journal. A missing file is not an
+// error: it decodes as empty, so "resume from a journal that was never
+// started" degrades to a full run.
+func ReadFile(path string) ([]Record, ReadStats, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ReadStats{}, nil
+	}
+	if err != nil {
+		return nil, ReadStats{}, fmt.Errorf("journal: %w", err)
+	}
+	recs, st := Decode(data)
+	return recs, st, nil
+}
+
+// Writer appends records to a journal file. Not safe for concurrent
+// use; the batch layer serialises appends under its own lock.
+type Writer struct {
+	f       *os.File
+	pending []byte
+}
+
+// OpenWriter opens path for appending, creating it if absent. Existing
+// records are left untouched, which is what resume wants: new results
+// extend the same journal.
+func OpenWriter(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Writer{f: f}, nil
+}
+
+// Append buffers one record. It is durable only after the next Commit.
+func (w *Writer) Append(key uint64, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("journal: payload %d bytes over the %d cap", len(payload), MaxPayload)
+	}
+	w.pending = append(w.pending, Encode(key, payload)...)
+	return nil
+}
+
+// Commit writes the buffered records and fsyncs the file: the batch
+// boundary after which the records survive a crash.
+func (w *Writer) Commit() error {
+	if len(w.pending) > 0 {
+		if _, err := w.f.Write(w.pending); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		w.pending = w.pending[:0]
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// Close commits anything pending and closes the file.
+func (w *Writer) Close() error {
+	err := w.Commit()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteTo is a convenience for tests: it encodes records back to a
+// stream in order.
+func WriteTo(dst io.Writer, recs []Record) error {
+	for _, r := range recs {
+		if _, err := dst.Write(Encode(r.Key, r.Payload)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sample() []Record {
+	return []Record{
+		{Key: 1, Payload: []byte(`{"point":"a"}`)},
+		{Key: 0xdeadbeefcafe, Payload: []byte(`{"point":"b","metrics":[1,2,3]}`)},
+		{Key: 3, Payload: nil},
+		{Key: 1, Payload: []byte(`{"point":"a","attempt":2}`)},
+	}
+}
+
+func encodeAll(recs []Record) []byte {
+	var buf bytes.Buffer
+	if err := WriteTo(&buf, recs); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := sample()
+	got, st := Decode(encodeAll(want))
+	if st.CorruptRecords != 0 || st.TruncatedTail {
+		t.Fatalf("clean image reported damage: %+v", st)
+	}
+	if st.Records != len(want) || len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Key != want[i].Key || !bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	recs, st := Decode(nil)
+	if len(recs) != 0 || st != (ReadStats{}) {
+		t.Fatalf("Decode(nil) = %v, %+v", recs, st)
+	}
+}
+
+func TestTruncatedTailDropped(t *testing.T) {
+	img := encodeAll(sample())
+	// Cut the image at every length from "last record whole" down to
+	// "one byte into the last record": each cut keeps the first three
+	// records and reports the tail.
+	lastStart := len(encodeAll(sample()[:3]))
+	for cut := len(img) - 1; cut > lastStart; cut-- {
+		recs, st := Decode(img[:cut])
+		if len(recs) != 3 {
+			t.Fatalf("cut at %d: recovered %d records, want 3", cut, len(recs))
+		}
+		if !st.TruncatedTail {
+			t.Fatalf("cut at %d: truncated tail not reported: %+v", cut, st)
+		}
+		if st.CorruptRecords != 0 {
+			t.Fatalf("cut at %d: truncation misreported as corruption: %+v", cut, st)
+		}
+	}
+}
+
+func TestCorruptRecordSkipped(t *testing.T) {
+	recs := sample()
+	img := encodeAll(recs)
+	second := len(encodeAll(recs[:1]))
+	for _, off := range []int{
+		second,                       // magic byte of record 1
+		second + 5,                   // length field
+		second + 9,                   // key field
+		second + 20,                  // payload
+		len(encodeAll(recs[:2])) - 1, // checksum
+	} {
+		dmg := append([]byte(nil), img...)
+		dmg[off] ^= 0x40
+		got, st := Decode(dmg)
+		if st.CorruptRecords == 0 {
+			t.Fatalf("flip at %d: no corruption reported", off)
+		}
+		// Records 0, 2 and 3 survive; the damaged record 1 is gone.
+		keys := map[uint64]int{}
+		for _, r := range got {
+			keys[r.Key]++
+		}
+		if keys[1] != 2 || keys[3] != 1 {
+			t.Fatalf("flip at %d: surviving records %v, want both key-1 records and key 3", off, got)
+		}
+		if keys[recs[1].Key] != 0 {
+			t.Fatalf("flip at %d: damaged record decoded anyway", off)
+		}
+	}
+}
+
+func TestCorruptLengthDoesNotSwallowFile(t *testing.T) {
+	img := encodeAll(sample())
+	// Blow the first record's length field up: without the resync scan
+	// the phantom record would swallow everything after it.
+	img[4] = 0xFF
+	img[5] = 0xFF
+	recs, st := Decode(img)
+	if st.CorruptRecords == 0 {
+		t.Fatalf("oversized length not reported: %+v", st)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("recovered %d records after length corruption, want the 3 after it", len(recs))
+	}
+}
+
+func TestGarbagePrefixResync(t *testing.T) {
+	img := append([]byte("not a journal at all"), encodeAll(sample())...)
+	recs, st := Decode(img)
+	if len(recs) != len(sample()) {
+		t.Fatalf("recovered %d records behind a garbage prefix, want %d", len(recs), len(sample()))
+	}
+	if st.CorruptRecords == 0 {
+		t.Fatalf("garbage prefix not reported: %+v", st)
+	}
+}
+
+func TestWriterCommitAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.jnl")
+	w, err := OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sample()[:2] {
+		if err := w.Append(r.Key, r.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen and extend: resume appends to the same file.
+	w, err = OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sample()[2:] {
+		if err := w.Append(r.Key, r.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, st, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CorruptRecords != 0 || st.TruncatedTail || len(recs) != len(sample()) {
+		t.Fatalf("reopened journal: %d records, stats %+v", len(recs), st)
+	}
+}
+
+func TestReadFileMissingIsEmpty(t *testing.T) {
+	recs, st, err := ReadFile(filepath.Join(t.TempDir(), "absent.jnl"))
+	if err != nil || len(recs) != 0 || st != (ReadStats{}) {
+		t.Fatalf("missing journal: recs=%v st=%+v err=%v", recs, st, err)
+	}
+}
+
+func TestAppendRejectsOversizedPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.jnl")
+	w, err := OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(1, make([]byte, MaxPayload+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestUncommittedTailIsTolerated(t *testing.T) {
+	// Simulate a crash mid-write: a committed record followed by half of
+	// the next one on disk.
+	path := filepath.Join(t.TempDir(), "crash.jnl")
+	whole := Encode(1, []byte(`{"ok":true}`))
+	half := Encode(2, []byte(`{"lost":true}`))
+	if err := os.WriteFile(path, append(whole, half[:len(half)/2]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, st, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Key != 1 || !st.TruncatedTail {
+		t.Fatalf("crash tail: recs=%v st=%+v", recs, st)
+	}
+	// Appending after the damaged tail buries it: the tail bytes stay,
+	// but resync recovers the new records behind them.
+	w, err := OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(2, []byte(`{"retried":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, st, err = ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[uint64]bool{}
+	for _, r := range recs {
+		keys[r.Key] = true
+	}
+	if !keys[1] || !keys[2] {
+		t.Fatalf("append-after-crash: recovered %v, stats %+v", recs, st)
+	}
+}

@@ -38,6 +38,9 @@ var coneSegments = map[string]bool{
 	// runs and must replay bit-identically too.
 	"battery": true, "energy": true, "packet": true, "audit": true,
 	"body": true, "app": true, "codec": true, "soak": true,
+	// The resume journal must replay bit-identically too: a journaled
+	// record is compared byte-for-byte against a fresh run's encoding.
+	"journal": true,
 }
 
 // InCone reports whether the import path lies inside the deterministic

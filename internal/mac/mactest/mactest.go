@@ -261,8 +261,6 @@ func checkDeterminism(t *testing.T, proto mac.Protocol) {
 // checkWorkerInvariance: a batch containing the protocol's scenario
 // must produce identical results at any worker count — MAC state must
 // never leak across runs through shared package state.
-//
-//lint:allow nodetaint runner.Run's wall clock only feeds the OnProgress ETA display (unused here), never simulation state
 func checkWorkerInvariance(t *testing.T, proto mac.Protocol) {
 	var points []runner.Point
 	for i := 0; i < 4; i++ {

@@ -14,6 +14,11 @@ func (t TableReport) RenderMarkdown() string {
 	b.WriteString("| point | cycle | radio real | radio sim | radio ours | radio analyt | µC real | µC sim | µC ours | µC analyt | dRadio% | dMCU% |\n")
 	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|\n")
 	for _, r := range t.Rows {
+		if r.Omitted != "" {
+			fmt.Fprintf(&b, "| %s | %.0f ms | — | — | — | — | — | — | — | — | — | — |\n",
+				r.Label, r.CycleMS)
+			continue
+		}
 		fmt.Fprintf(&b, "| %s | %.0f ms | %.1f | %.1f | %.1f | %.1f | %.1f | %.1f | %.1f | %.1f | %+.1f | %+.1f |\n",
 			r.Label, r.CycleMS,
 			r.RadioRealMJ, r.RadioSimMJ, r.OursRadioMJ, r.AnalyticRadioMJ,
@@ -23,6 +28,15 @@ func (t TableReport) RenderMarkdown() string {
 	fmt.Fprintf(&b, "\nAverage \\|error\\| vs real: **radio %.1f%%, µC %.1f%%** (vs the paper's simulator: radio %.1f%%, µC %.1f%%).\n",
 		t.AvgAbsRadioErrVsReal(), t.AvgAbsMCUErrVsReal(),
 		t.AvgAbsRadioErrVsSim(), t.AvgAbsMCUErrVsSim())
+	if t.Partial() {
+		fmt.Fprintf(&b, "\n_Partial table: %d of %d rows omitted", t.OmittedRows(), len(t.Rows))
+		for _, r := range t.Rows {
+			if r.Omitted != "" {
+				fmt.Fprintf(&b, "; %s (%s)", r.Label, r.Omitted)
+			}
+		}
+		b.WriteString("._\n")
+	}
 	return b.String()
 }
 
@@ -32,6 +46,12 @@ func (t TableReport) RenderCSV() string {
 	b.WriteString("point,cycle_ms,radio_real_mj,radio_sim_mj,radio_ours_mj,radio_analyt_mj," +
 		"mcu_real_mj,mcu_sim_mj,mcu_ours_mj,mcu_analyt_mj,radio_err_pct,mcu_err_pct\n")
 	for _, r := range t.Rows {
+		if r.Omitted != "" {
+			// Plotting tools read the empty fields as missing values.
+			fmt.Fprintf(&b, "%s,%.1f,%.1f,%.1f,,,%.1f,%.1f,,,,\n",
+				r.Label, r.CycleMS, r.RadioRealMJ, r.RadioSimMJ, r.MCURealMJ, r.MCUSimMJ)
+			continue
+		}
 		fmt.Fprintf(&b, "%s,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,%.2f,%.2f\n",
 			r.Label, r.CycleMS,
 			r.RadioRealMJ, r.RadioSimMJ, r.OursRadioMJ, r.AnalyticRadioMJ,

@@ -23,6 +23,11 @@ type Comparison struct {
 	OursRadioMJ, OursMCUMJ float64
 	// Analytic model columns (independent closed-form estimate).
 	AnalyticRadioMJ, AnalyticMCUMJ float64
+	// Omitted is empty for a complete row. When the simulation behind
+	// the row failed or was skipped (interrupted batch), it holds the
+	// reason; the Ours columns are then meaningless and the row is
+	// excluded from every average.
+	Omitted string
 }
 
 // RadioErrVsReal reports our radio estimate's percent error against the
@@ -80,21 +85,45 @@ func (t TableReport) AvgAbsMCUErrVsSim() float64 {
 }
 
 func mean(rows []Comparison, f func(Comparison) float64) float64 {
-	if len(rows) == 0 {
+	var s float64
+	n := 0
+	for _, r := range rows {
+		if r.Omitted != "" {
+			continue
+		}
+		s += f(r)
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	var s float64
-	for _, r := range rows {
-		s += f(r)
-	}
-	return s / float64(len(rows))
+	return s / float64(n)
 }
+
+// OmittedRows counts rows without simulator columns — failed or skipped
+// points salvaged from a partial batch.
+func (t TableReport) OmittedRows() int {
+	n := 0
+	for _, r := range t.Rows {
+		if r.Omitted != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Partial reports whether the table is missing any simulator rows.
+func (t TableReport) Partial() bool { return t.OmittedRows() > 0 }
 
 // Render formats the table in the paper's layout, extended with our
 // simulator's and the analytic model's columns and per-row errors.
 func (t TableReport) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(t.ID), t.Caption)
+	partial := ""
+	if t.Partial() {
+		partial = fmt.Sprintf(" [PARTIAL: %d/%d rows omitted]", t.OmittedRows(), len(t.Rows))
+	}
+	fmt.Fprintf(&b, "%s — %s%s\n", strings.ToUpper(t.ID), t.Caption, partial)
 	fmt.Fprintf(&b, "%-9s %-7s | %-26s | %-26s\n", "", "",
 		"E Radio (mJ)", "E uC (mJ)")
 	fmt.Fprintf(&b, "%-9s %-7s | %7s %7s %7s %7s | %7s %7s %7s %7s | %8s %8s\n",
@@ -105,6 +134,10 @@ func (t TableReport) Render() string {
 	b.WriteString(strings.Repeat("-", 126))
 	b.WriteByte('\n')
 	for _, r := range t.Rows {
+		if r.Omitted != "" {
+			fmt.Fprintf(&b, "%-9s %5.0fms | (no result: %s)\n", r.Label, r.CycleMS, r.Omitted)
+			continue
+		}
 		fmt.Fprintf(&b, "%-9s %5.0fms | %7.1f %7.1f %7.1f %7.1f | %7.1f %7.1f %7.1f %7.1f | %+8.1f %+8.1f\n",
 			r.Label, r.CycleMS,
 			r.RadioRealMJ, r.RadioSimMJ, r.OursRadioMJ, r.AnalyticRadioMJ,
@@ -113,9 +146,13 @@ func (t TableReport) Render() string {
 	}
 	b.WriteString(strings.Repeat("-", 126))
 	b.WriteByte('\n')
-	fmt.Fprintf(&b, "avg |err| vs real: radio %.1f%%  uC %.1f%%   (vs paper's sim: radio %.1f%%  uC %.1f%%)\n",
+	fmt.Fprintf(&b, "avg |err| vs real: radio %.1f%%  uC %.1f%%   (vs paper's sim: radio %.1f%%  uC %.1f%%)",
 		t.AvgAbsRadioErrVsReal(), t.AvgAbsMCUErrVsReal(),
 		t.AvgAbsRadioErrVsSim(), t.AvgAbsMCUErrVsSim())
+	if t.Partial() {
+		fmt.Fprintf(&b, "   over %d of %d rows", len(t.Rows)-t.OmittedRows(), len(t.Rows))
+	}
+	b.WriteByte('\n')
 	return b.String()
 }
 

@@ -125,3 +125,55 @@ func TestBarTotal(t *testing.T) {
 		t.Fatalf("Total = %v", b.Total())
 	}
 }
+
+// TestPartialTableRendering: omitted rows keep the paper columns, drop
+// out of the averages, and every render format marks the table partial
+// without breaking its shape.
+func TestPartialTableRendering(t *testing.T) {
+	tab := TableReport{
+		ID:      "table1",
+		Caption: "partial demo",
+		Rows: []Comparison{
+			{Label: "ok", CycleMS: 30, RadioRealMJ: 100, RadioSimMJ: 100,
+				MCURealMJ: 10, MCUSimMJ: 10, OursRadioMJ: 110, OursMCUMJ: 11},
+			{Label: "gone", CycleMS: 60, RadioRealMJ: 50, RadioSimMJ: 50,
+				MCURealMJ: 5, MCUSimMJ: 5, Omitted: "skipped: interrupted"},
+		},
+	}
+	if !tab.Partial() || tab.OmittedRows() != 1 {
+		t.Fatalf("Partial=%v OmittedRows=%d", tab.Partial(), tab.OmittedRows())
+	}
+	// Averages cover only the complete row: |110-100|/100 = 10%.
+	if got := tab.AvgAbsRadioErrVsReal(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("avg radio err = %g, want 10 (omitted row leaked in)", got)
+	}
+	text := tab.Render()
+	if !strings.Contains(text, "[PARTIAL: 1/2 rows omitted]") ||
+		!strings.Contains(text, "(no result: skipped: interrupted)") ||
+		!strings.Contains(text, "over 1 of 2 rows") {
+		t.Fatalf("text render lacks partial annotations:\n%s", text)
+	}
+	md := tab.RenderMarkdown()
+	if !strings.Contains(md, "| gone | 60 ms | — |") ||
+		!strings.Contains(md, "Partial table: 1 of 2 rows omitted; gone (skipped: interrupted)") {
+		t.Fatalf("markdown render lacks partial annotations:\n%s", md)
+	}
+	csv := tab.RenderCSV()
+	if !strings.Contains(csv, "gone,60.0,50.0,50.0,,,5.0,5.0,,,,\n") {
+		t.Fatalf("csv omitted row malformed:\n%s", csv)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(csv), "\n") {
+		if n := strings.Count(line, ","); n != 11 {
+			t.Fatalf("csv line %d has %d commas, want 11: %q", i, n, line)
+		}
+	}
+}
+
+// TestAllRowsOmittedAveragesZero guards the mean against an empty
+// complete-row set.
+func TestAllRowsOmittedAveragesZero(t *testing.T) {
+	tab := TableReport{Rows: []Comparison{{Label: "a", Omitted: "x"}}}
+	if got := tab.AvgAbsRadioErrVsReal(); got != 0 {
+		t.Fatalf("avg over zero complete rows = %g", got)
+	}
+}

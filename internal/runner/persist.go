@@ -1,0 +1,141 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+)
+
+// Journal connects a batch to an on-disk result journal
+// (internal/journal): completed points are appended and committed as
+// they finish, and points recorded by a previous run are restored
+// instead of re-executed. Safe for use by concurrent workers.
+//
+// Identity is content-addressed: PointKey hashes the label and the full
+// JSON form of the config, so editing a sweep between runs only re-runs
+// the points that actually changed. Only successful points are
+// recorded — failed and skipped points run again on resume. JSON
+// round-trips every numeric field bit-exactly (encoding/json emits the
+// shortest representation that parses back to the same float64, and
+// sim.Time marshals as an exact duration string), so a restored result
+// is deep-equal to the recorded one, traces excepted: Results.Trace is
+// not journaled and restores as nil.
+type Journal struct {
+	mu       sync.Mutex
+	w        *journal.Writer
+	restored map[uint64][]byte
+	stats    journal.ReadStats
+}
+
+// OpenJournal opens (creating if absent) the journal at path. With
+// resume set, records already committed there are loaded for restore;
+// without it the file is only appended to, so a stale journal never
+// silently short-circuits a sweep that did not ask to resume. Damage —
+// a truncated tail from a kill mid-write, a corrupt record — is
+// tolerated: the affected points simply re-run.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	j := &Journal{restored: map[uint64][]byte{}}
+	if resume {
+		recs, st, err := journal.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		j.stats = st
+		for _, r := range recs {
+			// Later records win: a re-run point's fresher result
+			// supersedes the earlier one.
+			j.restored[r.Key] = r.Payload
+		}
+	}
+	w, err := journal.OpenWriter(path)
+	if err != nil {
+		return nil, err
+	}
+	j.w = w
+	return j, nil
+}
+
+// Stats reports what loading the journal found (zero value when opened
+// without resume).
+func (j *Journal) Stats() journal.ReadStats { return j.stats }
+
+// Close flushes and closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.w == nil {
+		return nil
+	}
+	err := j.w.Close()
+	j.w = nil
+	return err
+}
+
+// PointKey is the content address of a point: FNV-64a over the label
+// and the full JSON encoding of the config. The full struct encoding is
+// deliberate — the scenario codec omits display-only fields like the
+// hardware profile, but two points differing in any config field must
+// never collide.
+func PointKey(p Point) uint64 {
+	cfg, err := json.Marshal(p.Config)
+	if err != nil {
+		// Config is a plain data struct (the one func field is tagged
+		// json:"-"); an encode failure is a programming error.
+		panic(fmt.Sprintf("runner: config not encodable: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write([]byte(p.Label))
+	h.Write([]byte{0})
+	h.Write(cfg)
+	return h.Sum64()
+}
+
+// lookup restores the recorded result for p, if any. A payload that no
+// longer decodes (schema drift between runs) is treated as absent: the
+// point re-runs.
+func (j *Journal) lookup(p Point) (core.Results, bool) {
+	j.mu.Lock()
+	payload, ok := j.restored[PointKey(p)]
+	j.mu.Unlock()
+	if !ok {
+		return core.Results{}, false
+	}
+	var res core.Results
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return core.Results{}, false
+	}
+	return res, true
+}
+
+// record appends and commits one completed point. Failed, skipped and
+// restored points are not recorded; an append error is swallowed after
+// disabling the writer — journaling is an aid, and a full disk must not
+// take the sweep down with it.
+func (j *Journal) record(r *Result) {
+	if r.Err != nil || r.Skipped || r.Restored {
+		return
+	}
+	payload, err := json.Marshal(r.Res)
+	if err != nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.w == nil {
+		return
+	}
+	if j.appendCommit(PointKey(Point{Label: r.Label, Config: r.Config}), payload) != nil {
+		j.w = nil
+	}
+}
+
+func (j *Journal) appendCommit(key uint64, payload []byte) error {
+	if err := j.w.Append(key, payload); err != nil {
+		return err
+	}
+	return j.w.Commit()
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -38,17 +39,109 @@ type Kernel struct {
 
 	executed uint64
 	stopped  bool
+
+	// Watchdog state (SetWatchdog). checkAt is the executed-event count
+	// at which the dispatch loops consult the watchdog; math.MaxUint64
+	// when no watchdog is armed, so the steady-state cost is a single
+	// predictable compare per event.
+	checkAt   uint64
+	maxEvents uint64
+	poll      func() bool
+	pollEvery uint64
+	trip      Trip
 }
+
+// Trip reports why a watchdog stopped the kernel.
+type Trip int
+
+const (
+	// TripNone: the watchdog never fired.
+	TripNone Trip = iota
+	// TripEvents: the dispatched-event budget was reached. Deterministic:
+	// equal (Config, Seed) runs trip at the identical event and instant.
+	TripEvents
+	// TripInterrupt: the external poll hook returned true (wall-clock
+	// deadline, context cancellation — whatever the caller wired in).
+	TripInterrupt
+)
+
+func (t Trip) String() string {
+	switch t {
+	case TripEvents:
+		return "event budget"
+	case TripInterrupt:
+		return "interrupt"
+	default:
+		return "none"
+	}
+}
+
+// DefaultPollEvery is the dispatch cadence at which an interrupt hook is
+// polled when SetWatchdog is given a zero cadence: rare enough that the
+// hook (typically a wall-clock read) never shows up in profiles, frequent
+// enough that a wedged scenario is caught within milliseconds.
+const DefaultPollEvery = 8192
 
 // NewKernel creates a kernel whose random streams derive from seed.
 // The same seed always reproduces the same simulation.
 func NewKernel(seed int64) *Kernel {
 	k := &Kernel{
-		rng:  rand.New(rand.NewSource(seed)),
-		seed: seed,
+		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
+		checkAt: math.MaxUint64,
 	}
 	k.wheel.init()
 	return k
+}
+
+// SetWatchdog arms the kernel's step budget: dispatch stops once
+// maxEvents events have fired (0 = unlimited), and poll — when non-nil —
+// is consulted every pollEvery dispatches (0 selects DefaultPollEvery)
+// and stops the run when it returns true. The check rides the existing
+// dispatch path as one integer compare per event, so an armed-but-untripped
+// watchdog never changes a run's results: the event budget trips at a
+// deterministic event count, and the poll hook observes only — it must
+// never touch simulation state. Query the outcome with Tripped.
+func (k *Kernel) SetWatchdog(maxEvents uint64, poll func() bool, pollEvery uint64) {
+	k.maxEvents = maxEvents
+	k.poll = poll
+	k.pollEvery = pollEvery
+	if k.pollEvery == 0 {
+		k.pollEvery = DefaultPollEvery
+	}
+	k.scheduleCheck()
+}
+
+// Tripped reports whether (and why) the watchdog stopped the kernel.
+func (k *Kernel) Tripped() Trip { return k.trip }
+
+// scheduleCheck computes the next executed-count at which the dispatch
+// loops must consult the watchdog.
+func (k *Kernel) scheduleCheck() {
+	k.checkAt = math.MaxUint64
+	if k.poll != nil {
+		k.checkAt = k.executed + k.pollEvery
+	}
+	if k.maxEvents > 0 && k.maxEvents < k.checkAt {
+		k.checkAt = k.maxEvents
+	}
+}
+
+// tripNow runs the armed watchdog checks; it reports true (and latches
+// the cause) when the kernel must stop before dispatching the next event.
+func (k *Kernel) tripNow() bool {
+	if k.maxEvents > 0 && k.executed >= k.maxEvents {
+		k.trip = TripEvents
+		k.stopped = true
+		return true
+	}
+	if k.poll != nil && k.poll() {
+		k.trip = TripInterrupt
+		k.stopped = true
+		return true
+	}
+	k.scheduleCheck()
+	return false
 }
 
 // NewHeapKernel creates a kernel driven by the original binary-heap
@@ -159,8 +252,11 @@ func (k *Kernel) Cancel(id EventID) bool {
 func (k *Kernel) Stop() { k.stopped = true }
 
 // step fires the earliest pending event. It reports false when the queue
-// is empty.
+// is empty or the watchdog tripped.
 func (k *Kernel) step() bool {
+	if k.executed >= k.checkAt && k.tripNow() {
+		return false
+	}
 	if k.legacy != nil {
 		h, at, ok := k.legacy.next()
 		if !ok {
@@ -202,6 +298,9 @@ func (k *Kernel) RunUntil(horizon Time) {
 		// Drain the ready tail directly: a slot boundary's same-instant
 		// batch dispatches in this loop without touching the wheels again.
 		for !k.stopped && k.wheel.ensureReady() && k.wheel.peekReady() <= horizon {
+			if k.executed >= k.checkAt && k.tripNow() {
+				break
+			}
 			h, at := k.wheel.popReady()
 			k.now = at
 			k.executed++

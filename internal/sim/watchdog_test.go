@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"testing"
+)
+
+// tickChain schedules a self-perpetuating event chain: each firing posts
+// the next one tick later, so the kernel never runs out of work — the
+// shape of a wedged scenario the watchdog exists to catch.
+func tickChain(k *Kernel, step Time, fired *uint64) {
+	var tick Handler
+	tick = func(k *Kernel) {
+		*fired++
+		k.Schedule(step, tick)
+	}
+	k.Schedule(0, tick)
+}
+
+func TestWatchdogEventBudgetTrips(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		new  func(int64) *Kernel
+	}{
+		{"wheel", NewKernel},
+		{"heap", NewHeapKernel},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			k := mk.new(1)
+			var fired uint64
+			tickChain(k, Millisecond, &fired)
+			k.SetWatchdog(100, nil, 0)
+			k.RunUntil(Second)
+			if k.Tripped() != TripEvents {
+				t.Fatalf("Tripped = %v, want TripEvents", k.Tripped())
+			}
+			if k.Executed() != 100 {
+				t.Fatalf("Executed = %d, want exactly the 100-event budget", k.Executed())
+			}
+			if fired != 100 {
+				t.Fatalf("handlers fired = %d, want 100", fired)
+			}
+			// A tripped run must not advance to the horizon: the stop
+			// instant is where the budget was hit.
+			if k.Now() != 99*Millisecond {
+				t.Fatalf("Now = %v, want 99ms (instant of the last dispatched event)", k.Now())
+			}
+			// Re-entering RunUntil after a trip re-trips immediately
+			// instead of dispatching past the budget.
+			k.RunUntil(Second)
+			if k.Executed() != 100 {
+				t.Fatalf("post-trip RunUntil dispatched events: Executed = %d", k.Executed())
+			}
+		})
+	}
+}
+
+func TestWatchdogBudgetDeterministicAcrossSchedulers(t *testing.T) {
+	run := func(new func(int64) *Kernel) (uint64, Time) {
+		k := new(42)
+		var fired uint64
+		tickChain(k, 250*Microsecond, &fired)
+		tickChain(k, 700*Microsecond, &fired)
+		k.SetWatchdog(777, nil, 0)
+		k.RunUntil(10 * Second)
+		return k.Executed(), k.Now()
+	}
+	we, wn := run(NewKernel)
+	he, hn := run(NewHeapKernel)
+	if we != he || wn != hn {
+		t.Fatalf("wheel tripped at (%d, %v), heap at (%d, %v)", we, wn, he, hn)
+	}
+	if we != 777 {
+		t.Fatalf("Executed = %d, want the 777-event budget", we)
+	}
+}
+
+func TestWatchdogPollCadence(t *testing.T) {
+	k := NewKernel(1)
+	var fired uint64
+	tickChain(k, Microsecond, &fired)
+	polls := 0
+	k.SetWatchdog(0, func() bool { polls++; return false }, 1000)
+	k.RunUntil(10 * Millisecond) // 10001 events (tick at t=0 included)
+	if k.Tripped() != TripNone {
+		t.Fatalf("Tripped = %v, want TripNone", k.Tripped())
+	}
+	if polls != 10 {
+		t.Fatalf("poll hook ran %d times over %d events at cadence 1000, want 10", polls, k.Executed())
+	}
+}
+
+func TestWatchdogInterruptTrips(t *testing.T) {
+	k := NewKernel(1)
+	var fired uint64
+	tickChain(k, Microsecond, &fired)
+	stop := false
+	k.SetWatchdog(0, func() bool { return stop }, 100)
+	k.RunUntil(50 * Microsecond)
+	if k.Tripped() != TripNone {
+		t.Fatalf("hook returning false tripped the kernel: %v", k.Tripped())
+	}
+	stop = true
+	k.RunUntil(10 * Millisecond)
+	if k.Tripped() != TripInterrupt {
+		t.Fatalf("Tripped = %v, want TripInterrupt", k.Tripped())
+	}
+	// The trip fires at the first poll point after the hook flips: within
+	// one cadence of dispatches, not at the horizon.
+	if k.Executed() > 151 {
+		t.Fatalf("interrupt caught after %d events, want within one 100-event cadence", k.Executed())
+	}
+}
+
+func TestWatchdogArmedUntrippedIsFree(t *testing.T) {
+	run := func(arm bool) (uint64, Time) {
+		k := NewKernel(7)
+		var fired uint64
+		tickChain(k, 333*Microsecond, &fired)
+		if arm {
+			k.SetWatchdog(1<<40, func() bool { return false }, 0)
+		}
+		k.RunUntil(2 * Second)
+		return k.Executed(), k.Now()
+	}
+	be, bn := run(false)
+	ae, an := run(true)
+	if be != ae || bn != an {
+		t.Fatalf("armed run (%d, %v) differs from bare run (%d, %v)", ae, an, be, bn)
+	}
+	if bn != 2*Second {
+		t.Fatalf("Now = %v, want the 2s horizon", bn)
+	}
+}
+
+func TestWatchdogEventBudgetWithRunToCompletion(t *testing.T) {
+	// Run() (no horizon) honours the budget too: the step path carries
+	// the same check as the RunUntil fast loop.
+	k := NewKernel(1)
+	var fired uint64
+	tickChain(k, Millisecond, &fired)
+	k.SetWatchdog(25, nil, 0)
+	k.Run()
+	if k.Tripped() != TripEvents || k.Executed() != 25 {
+		t.Fatalf("Run(): tripped=%v executed=%d, want TripEvents at 25", k.Tripped(), k.Executed())
+	}
+}
+
+func TestTripString(t *testing.T) {
+	cases := map[Trip]string{TripNone: "none", TripEvents: "event budget", TripInterrupt: "interrupt"}
+	for trip, want := range cases {
+		if got := trip.String(); got != want {
+			t.Errorf("Trip(%d).String() = %q, want %q", int(trip), got, want)
+		}
+	}
+}

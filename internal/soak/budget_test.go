@@ -1,0 +1,141 @@
+package soak
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestEvaluateClassifiesBudgetTrip(t *testing.T) {
+	cfg := Generate(3)
+	cfg.MaxEvents = 500 // far below any complete run
+	f := Evaluate(cfg)
+	if f == nil {
+		t.Fatal("budget trip not reported")
+	}
+	if f.Kind != "budget" || f.Invariant != core.BudgetEvents {
+		t.Fatalf("failure = %s, want budget/%s", f, core.BudgetEvents)
+	}
+	if f.Seed != cfg.Seed {
+		t.Fatalf("failure seed %d, want %d", f.Seed, cfg.Seed)
+	}
+}
+
+func TestGeneratorArmsBudgetAxis(t *testing.T) {
+	armed := 0
+	for seed := int64(1); seed <= 200; seed++ {
+		if b := Generate(seed).MaxEvents; b != 0 {
+			if b != GeneratedBudget {
+				t.Fatalf("seed %d drew budget %d, want %d", seed, b, GeneratedBudget)
+			}
+			armed++
+		}
+	}
+	if armed == 0 {
+		t.Fatal("200 seeds never armed the event budget")
+	}
+}
+
+func TestEvaluateCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f, err := EvaluateCtx(ctx, Generate(5))
+	if f != nil {
+		t.Fatalf("cancelled evaluation produced a failure: %s", f)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEvaluateCtxUncancelledMatchesEvaluate(t *testing.T) {
+	cfg := Generate(7)
+	f, err := EvaluateCtx(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := Evaluate(cfg); (f == nil) != (g == nil) {
+		t.Fatalf("EvaluateCtx=%v, Evaluate=%v", f, g)
+	}
+}
+
+func TestShrinkDropsIdleBudget(t *testing.T) {
+	// The failure does not depend on the budget, so the shrinker strips
+	// it along with the other irrelevant axes.
+	cfg := Generate(11)
+	cfg.MaxEvents = GeneratedBudget
+	want := &Failure{Kind: "audit", Invariant: "synthetic"}
+	eval := func(c core.Config) *Failure {
+		if c.Nodes >= 1 {
+			return &Failure{Kind: "audit", Invariant: "synthetic", Detail: "always"}
+		}
+		return nil
+	}
+	got := Shrink(cfg, eval, want)
+	if got.MaxEvents != 0 {
+		t.Fatalf("idle budget survived shrinking: %d", got.MaxEvents)
+	}
+}
+
+func TestShrinkMinimizesBudgetFailure(t *testing.T) {
+	// A synthetic runaway: the failure reproduces whenever a budget is
+	// armed at all (the "wedged scenario" always exhausts it). The
+	// shrinker must keep the budget — it is the signature — and halve it
+	// down to the floor.
+	cfg := Generate(13)
+	cfg.MaxEvents = GeneratedBudget
+	want := &Failure{Kind: "budget", Invariant: core.BudgetEvents}
+	eval := func(c core.Config) *Failure {
+		if c.MaxEvents > 0 {
+			return &Failure{Kind: "budget", Invariant: core.BudgetEvents, Detail: "tripped"}
+		}
+		return nil
+	}
+	got := Shrink(cfg, eval, want)
+	if got.MaxEvents == 0 {
+		t.Fatal("load-bearing budget was dropped")
+	}
+	if got.MaxEvents < minBudget || got.MaxEvents >= 2*minBudget {
+		t.Fatalf("budget shrunk to %d, want within [%d, %d)", got.MaxEvents, uint64(minBudget), uint64(2*minBudget))
+	}
+	if got.Duration >= cfg.Duration && cfg.Duration/2 >= minDuration {
+		t.Fatalf("other axes not shrunk alongside the budget: duration %v", got.Duration)
+	}
+}
+
+func TestShrinkBudgetRoundTripsThroughScenarioCodec(t *testing.T) {
+	// A budget reproducer must survive the scenario JSON round trip, or
+	// the committed soak_repro file would lose the field that trips.
+	cfg := Generate(17)
+	cfg.MaxEvents = 4096
+	data, err := core.ConfigToJSON(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.ConfigFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MaxEvents != cfg.MaxEvents {
+		t.Fatalf("MaxEvents %d -> %d across the codec", cfg.MaxEvents, back.MaxEvents)
+	}
+	if back.Duration != cfg.Duration || back.Nodes != cfg.Nodes {
+		t.Fatalf("codec round trip moved unrelated fields")
+	}
+}
+
+func TestEvaluateCtxAbortsMidSeed(t *testing.T) {
+	// Cancel from inside the run via a context that flips after the
+	// first poll: the evaluation must return promptly with ctx.Err(),
+	// not run the seed to completion.
+	cfg := Generate(19)
+	cfg.Duration = 30 * sim.Second // long enough that completing would be wasteful
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if f, err := EvaluateCtx(ctx, cfg); f != nil || err == nil {
+		t.Fatalf("mid-seed abort: f=%v err=%v", f, err)
+	}
+}

@@ -13,6 +13,8 @@
 package soak
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -110,8 +112,18 @@ func Generate(seed int64) core.Config {
 		}
 	}
 	cfg.Faults = generateFaults(r, cfg.Nodes, cfg.Warmup+cfg.Duration)
+	if r.Intn(4) == 0 {
+		cfg.MaxEvents = GeneratedBudget
+	}
 	return cfg
 }
+
+// GeneratedBudget is the kernel event budget the generator arms on a
+// quarter of its scenarios: ~50x the busiest corpus scenario's event
+// count (measured ~20k events, ~5k events per simulated second), so a
+// healthy run never trips it while a genuine event-loop runaway
+// converts into a "budget" failure the shrinker can minimize.
+const GeneratedBudget = 1_000_000
 
 // generateFaults draws a schedule that fault.ValidateSchedule always
 // accepts: at most one crash per node, windows inside the span.
@@ -159,7 +171,8 @@ type Failure struct {
 	Seed int64
 	// Kind classifies the oracle that fired: "audit" (an invariant
 	// violated), "differential" (wheel and heap runs diverged), "error"
-	// (core.Run rejected or failed the config) or "panic".
+	// (core.Run rejected or failed the config), "budget" (the kernel
+	// event budget tripped — a runaway event loop) or "panic".
 	Kind string
 	// Invariant narrows the signature: the violated law's name for
 	// audit failures, the diverging surface ("trace", "results") for
@@ -187,40 +200,67 @@ func sameSignature(f, g *Failure) bool {
 // audits, the heap-scheduler run with audits, and the differential
 // comparison between them. It returns nil when all pass.
 func Evaluate(cfg core.Config) *Failure {
+	f, _ := EvaluateCtx(context.Background(), cfg)
+	return f
+}
+
+// EvaluateCtx is Evaluate under a context: cancellation is polled
+// through the kernel's interrupt hook, so a long seed aborts mid-run
+// within sim.DefaultPollEvery dispatched events rather than running to
+// completion. A cancelled evaluation returns (nil, ctx.Err()) — it is
+// neither a pass nor a failure. The hook observes only, so an
+// uncancelled EvaluateCtx is bit-identical to Evaluate.
+func EvaluateCtx(ctx context.Context, cfg core.Config) (*Failure, error) {
 	fail := func(kind, invariant, detail string) *Failure {
 		return &Failure{Seed: cfg.Seed, Kind: kind, Invariant: invariant, Detail: detail}
 	}
-	wheel, f := runOne(cfg, core.SchedulerWheel)
-	if f != nil {
-		return f
+	// Cancellation is also checked between runs: a seed short enough to
+	// finish inside one poll interval would otherwise keep the
+	// evaluation going through the second scheduler.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	heap, f := runOne(cfg, core.SchedulerHeap)
+	wheel, f, err := runOne(ctx, cfg, core.SchedulerWheel)
+	if err != nil {
+		return nil, err
+	}
 	if f != nil {
-		return f
+		return f, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	heap, f, err := runOne(ctx, cfg, core.SchedulerHeap)
+	if err != nil {
+		return nil, err
+	}
+	if f != nil {
+		return f, nil
 	}
 
 	we, he := wheel.Trace.Events(), heap.Trace.Events()
 	if len(we) != len(he) {
 		return fail("differential", "trace",
-			fmt.Sprintf("trace length: wheel %d, heap %d", len(we), len(he)))
+			fmt.Sprintf("trace length: wheel %d, heap %d", len(we), len(he))), nil
 	}
 	for i := range we {
 		if we[i] != he[i] {
 			return fail("differential", "trace",
-				fmt.Sprintf("event %d: wheel %+v, heap %+v", i, we[i], he[i]))
+				fmt.Sprintf("event %d: wheel %+v, heap %+v", i, we[i], he[i])), nil
 		}
 	}
 	wheel.Trace, heap.Trace = nil, nil
 	wheel.Config.Scheduler, heap.Config.Scheduler = "", ""
 	if !reflect.DeepEqual(wheel, heap) {
-		return fail("differential", "results", "results differ between schedulers")
+		return fail("differential", "results", "results differ between schedulers"), nil
 	}
-	return nil
+	return nil, nil
 }
 
-// runOne executes cfg on one scheduler, converting a panic, a Run error
-// or an audit violation into a Failure.
-func runOne(cfg core.Config, sched string) (res core.Results, f *Failure) {
+// runOne executes cfg on one scheduler, converting a panic, a Run error,
+// a budget trip or an audit violation into a Failure. A trip of the
+// interrupt hook caused by ctx is cancellation, not a scenario failure.
+func runOne(ctx context.Context, cfg core.Config, sched string) (res core.Results, f *Failure, ctxErr error) {
 	defer func() {
 		if r := recover(); r != nil {
 			f = &Failure{Seed: cfg.Seed, Kind: "panic",
@@ -228,24 +268,38 @@ func runOne(cfg core.Config, sched string) (res core.Results, f *Failure) {
 		}
 	}()
 	cfg.Scheduler = sched
+	cfg.Interrupt = func() bool { return ctx.Err() != nil }
 	res, err := core.Run(cfg)
 	if err != nil {
+		var bud *core.BudgetError
+		if errors.As(err, &bud) {
+			if bud.Cause == core.BudgetInterrupt && ctx.Err() != nil {
+				return res, nil, ctx.Err()
+			}
+			return res, &Failure{Seed: cfg.Seed, Kind: "budget", Invariant: bud.Cause,
+				Detail: fmt.Sprintf("%s scheduler: %v", sched, err)}, nil
+		}
 		return res, &Failure{Seed: cfg.Seed, Kind: "error",
-			Detail: fmt.Sprintf("%s scheduler: %v", sched, err)}
+			Detail: fmt.Sprintf("%s scheduler: %v", sched, err)}, nil
 	}
 	if res.Audit.Failed() {
 		v := res.Audit.Violations[0]
 		return res, &Failure{Seed: cfg.Seed, Kind: "audit", Invariant: v.Invariant,
 			Detail: fmt.Sprintf("%s scheduler: %s (%d violation(s) total)",
-				sched, v, uint64(len(res.Audit.Violations))+res.Audit.Dropped)}
+				sched, v, uint64(len(res.Audit.Violations))+res.Audit.Dropped)}, nil
 	}
-	return res, nil
+	return res, nil, nil
 }
 
 // minDuration floors the duration-halving shrink pass: shorter runs
 // rarely complete a join, so the reproducer would mutate into a
 // different failure.
 const minDuration = 500 * sim.Millisecond
+
+// minBudget floors the event-budget-halving shrink pass: a budget below
+// the power-on transient's event count would trip during startup and
+// mask the original runaway.
+const minBudget = 1000
 
 // Shrink greedily reduces cfg while eval keeps reproducing want's
 // failure signature, and returns the smallest accepted config. The pass
@@ -317,6 +371,24 @@ func Shrink(cfg core.Config, eval func(core.Config) *Failure, want *Failure) cor
 			if keeps(cand) {
 				cur, changed = cand, true
 			}
+		}
+		// Drop the event budget outright when it is not load-bearing;
+		// when it is (a "budget" failure), halve it toward the floor so
+		// the reproducer trips as early as possible.
+		if cur.MaxEvents != 0 {
+			cand := cur
+			cand.MaxEvents = 0
+			if keeps(cand) {
+				cur, changed = cand, true
+			}
+		}
+		for cur.MaxEvents/2 >= minBudget {
+			cand := cur
+			cand.MaxEvents = cur.MaxEvents / 2
+			if !keeps(cand) {
+				break
+			}
+			cur, changed = cand, true
 		}
 		// Halve the measurement window down to the floor.
 		for cur.Duration/2 >= minDuration {
